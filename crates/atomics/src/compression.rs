@@ -1,0 +1,80 @@
+//! Pointer-compression policy helpers.
+//!
+//! The mechanics of packing `(locale, address)` into a `u64` live on
+//! [`pgas_sim::GlobalPtr`]; this module holds the *policy* described in
+//! §II-A of the paper: compression is only sound while the locale id fits
+//! in the 16 bits freed up by the 48-bit virtual-address assumption, and
+//! installations beyond 2^16 locales must fall back to wide pointers and
+//! double-word CAS.
+
+use pgas_sim::{GlobalPtr, PointerMode, RuntimeCore, WideGlobalPtr};
+
+/// Maximum number of locales representable under pointer compression.
+pub const MAX_COMPRESSED_LOCALES: usize = 1 << 16;
+
+/// Does a system of `num_locales` locales require the wide-pointer
+/// fallback?
+#[inline]
+pub fn requires_wide(num_locales: usize) -> bool {
+    num_locales > MAX_COMPRESSED_LOCALES
+}
+
+/// The pointer mode a runtime *should* use for its locale count: the
+/// compressed fast path whenever it is sound.
+#[inline]
+pub fn preferred_mode(num_locales: usize) -> PointerMode {
+    if requires_wide(num_locales) {
+        PointerMode::Wide
+    } else {
+        PointerMode::Compressed
+    }
+}
+
+/// The effective pointer mode of a runtime (its configured mode, which
+/// [`pgas_sim::RuntimeConfig::validate`] has already checked for soundness).
+#[inline]
+pub fn effective_mode(core: &RuntimeCore) -> PointerMode {
+    core.config.pointer_mode
+}
+
+/// Compress a wide pointer, or return it unchanged as `Err` when the
+/// locale id exceeds 16 bits (the caller must stay on the wide path).
+pub fn try_compress<T>(wide: WideGlobalPtr<T>) -> Result<GlobalPtr<T>, WideGlobalPtr<T>> {
+    if wide.locale() < MAX_COMPRESSED_LOCALES as u64 {
+        Ok(wide.compress())
+    } else {
+        Err(wide)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_locale_counts() {
+        assert!(!requires_wide(1));
+        assert!(!requires_wide(MAX_COMPRESSED_LOCALES));
+        assert!(requires_wide(MAX_COMPRESSED_LOCALES + 1));
+    }
+
+    #[test]
+    fn preferred_mode_matches_requirement() {
+        assert_eq!(preferred_mode(64), PointerMode::Compressed);
+        assert_eq!(preferred_mode(1 << 20), PointerMode::Wide);
+    }
+
+    #[test]
+    fn try_compress_small_locale() {
+        let w = WideGlobalPtr::<u8>::new(12, 0x4000);
+        let c = try_compress(w).expect("fits");
+        assert_eq!(c.locale(), 12);
+        assert_eq!(c.addr(), 0x4000);
+    }
+
+    #[test]
+    fn try_compress_huge_locale_fails() {
+        let w = WideGlobalPtr::<u8>::new(1 << 17, 0x4000);
+        assert!(try_compress(w).is_err());
+    }
+}

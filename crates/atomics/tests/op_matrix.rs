@@ -1,0 +1,206 @@
+//! Exhaustive operation matrix for the atomic types: every operation ×
+//! {local, remote} × {network atomics on, off} × {compressed, wide},
+//! asserting both the result semantics and the exact communication path
+//! taken.
+
+use pgas_atomics::{AtomicAbaObject, AtomicInt, AtomicObject, LocalAtomicObject};
+use pgas_sim::{alloc_local, alloc_on, free, GlobalPtr, Runtime, RuntimeConfig};
+
+/// Communication expectation for one op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Path {
+    Rdma(u64),
+    Cpu(u64),
+    Am(u64),
+    Dcas(u64),
+}
+
+fn assert_paths(rt: &Runtime, expected: &[Path]) {
+    let s = rt.total_comm();
+    for e in expected {
+        match *e {
+            Path::Rdma(n) => assert_eq!(s.rdma_atomics, n, "rdma count: {s}"),
+            Path::Cpu(n) => assert_eq!(s.cpu_atomics, n, "cpu count: {s}"),
+            Path::Am(n) => assert_eq!(s.am_sent, n, "am count: {s}"),
+            Path::Dcas(n) => assert_eq!(s.cpu_dcas, n, "dcas count: {s}"),
+        }
+    }
+}
+
+#[test]
+fn atomic_int_matrix() {
+    // (net_atomics, owner-is-remote) → expected path for 4 ops
+    for (net, remote, expected) in [
+        (true, false, vec![Path::Rdma(4), Path::Am(0)]),
+        (true, true, vec![Path::Rdma(4), Path::Am(0)]),
+        (false, false, vec![Path::Cpu(4), Path::Am(0), Path::Rdma(0)]),
+        (false, true, vec![Path::Cpu(4), Path::Am(4), Path::Rdma(0)]),
+    ] {
+        let cfg = if net {
+            RuntimeConfig::cluster(2)
+        } else {
+            RuntimeConfig::cluster(2).without_network_atomics()
+        };
+        let rt = Runtime::new(cfg);
+        rt.run(|| {
+            let owner = if remote { 1 } else { 0 };
+            let a = AtomicInt::new_on(owner, 5);
+            rt.reset_metrics();
+            assert_eq!(a.read(), 5);
+            a.write(7);
+            assert_eq!(a.exchange(9), 7);
+            assert!(a.compare_and_swap(9, 11));
+            assert_paths(&rt, &expected);
+        });
+    }
+}
+
+#[test]
+fn atomic_object_matrix_compressed() {
+    for (net, remote, expected) in [
+        (true, false, vec![Path::Rdma(4)]),
+        (true, true, vec![Path::Rdma(4), Path::Am(0)]),
+        (false, false, vec![Path::Cpu(4)]),
+        (false, true, vec![Path::Cpu(4), Path::Am(4)]),
+    ] {
+        let cfg = if net {
+            RuntimeConfig::cluster(2)
+        } else {
+            RuntimeConfig::cluster(2).without_network_atomics()
+        };
+        let rt = Runtime::new(cfg);
+        rt.run(|| {
+            let owner = if remote { 1 } else { 0 };
+            let x = alloc_local(&rt, 1u64);
+            let y = alloc_on(&rt, 1, 2u64);
+            let cell = AtomicObject::new_on(owner, x);
+            rt.reset_metrics();
+            assert_eq!(cell.read(), x);
+            cell.write(y);
+            assert_eq!(cell.exchange(x), y);
+            assert!(cell.compare_and_swap(x, y));
+            assert_paths(&rt, &expected);
+            unsafe {
+                free(&rt, x);
+                free(&rt, y);
+            }
+        });
+    }
+}
+
+#[test]
+fn atomic_object_matrix_wide() {
+    // Wide mode: local = DCAS, remote = AM + DCAS, never RDMA.
+    for (remote, expected) in [
+        (false, vec![Path::Dcas(4), Path::Rdma(0), Path::Am(0)]),
+        (true, vec![Path::Dcas(4), Path::Rdma(0), Path::Am(4)]),
+    ] {
+        let rt = Runtime::new(RuntimeConfig::cluster(2).with_wide_pointers());
+        rt.run(|| {
+            let owner = if remote { 1 } else { 0 };
+            let x = alloc_local(&rt, 1u64);
+            let cell = AtomicObject::new_on(owner, GlobalPtr::null());
+            rt.reset_metrics();
+            let _ = cell.read();
+            cell.write(x);
+            let _ = cell.exchange(x);
+            assert!(cell.compare_and_swap(x, GlobalPtr::null()));
+            assert_paths(&rt, &expected);
+            unsafe { free(&rt, x) };
+        });
+    }
+}
+
+#[test]
+fn aba_object_matrix() {
+    // ABA ops are DCAS locally, AM+DCAS remotely (the DCAS then executes
+    // on the owner and is counted there); the plain 64-bit read is the
+    // only NIC-eligible op.
+    for (remote, dcas_total, ams) in [(false, 4, 0), (true, 4, 4)] {
+        let rt = Runtime::new(RuntimeConfig::cluster(2));
+        rt.run(|| {
+            let owner = if remote { 1 } else { 0 };
+            let x = alloc_local(&rt, 1u64);
+            let cell = AtomicAbaObject::new_on(owner, GlobalPtr::null());
+            rt.reset_metrics();
+            let snap = cell.read_aba();
+            cell.write_aba(x);
+            let _ = cell.exchange_aba(GlobalPtr::null());
+            let _ = cell.compare_and_swap_aba(snap, x);
+            let s = rt.total_comm();
+            assert_eq!(s.cpu_dcas, dcas_total, "{s}");
+            assert_eq!(s.am_sent, ams, "{s}");
+            assert_eq!(s.rdma_atomics, 0);
+            // the 64-bit read: NIC
+            let _ = cell.read();
+            assert_eq!(rt.total_comm().rdma_atomics, 1);
+            unsafe { free(&rt, x) };
+        });
+    }
+}
+
+#[test]
+fn local_atomic_object_tracks_native_atomic_costs() {
+    // LocalAtomicObject must cost exactly what atomic int costs.
+    for net in [true, false] {
+        let cfg = if net {
+            RuntimeConfig::cluster(1)
+        } else {
+            RuntimeConfig::cluster(1).without_network_atomics()
+        };
+        let rt = Runtime::new(cfg);
+        rt.run(|| {
+            let x = alloc_local(&rt, 3u64);
+            let obj = LocalAtomicObject::new(x);
+            let int = AtomicInt::new(0);
+            rt.reset_metrics();
+            let _ = obj.read();
+            let a = rt.total_comm();
+            rt.reset_metrics();
+            let _ = int.read();
+            let b = rt.total_comm();
+            assert_eq!(a, b, "identical communication profile");
+            unsafe { free(&rt, x) };
+        });
+    }
+}
+
+#[test]
+fn exchange_sequences_are_linearizable_per_cell() {
+    // N tasks exchange distinct values into one cell; collecting
+    // "previous" values must form a permutation chain.
+    let rt = Runtime::new(RuntimeConfig::zero_latency(1));
+    rt.run(|| {
+        let ptrs: Vec<GlobalPtr<u64>> = (0..8).map(|i| alloc_local(&rt, i as u64)).collect();
+        let cell = AtomicObject::new(GlobalPtr::null());
+        let prevs: Vec<std::sync::Mutex<Vec<u64>>> =
+            (0..8).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        rt.coforall_tasks(8, |t| {
+            for _ in 0..50 {
+                let old = cell.exchange(ptrs[t]);
+                prevs[t].lock().unwrap().push(old.into_bits());
+            }
+        });
+        // Each non-null previous value must be one of the 8 pointers, and
+        // the total count of "I replaced X" events per X equals the number
+        // of times X was installed minus (possibly) the final resident.
+        let valid: std::collections::HashSet<u64> = ptrs.iter().map(|p| p.into_bits()).collect();
+        let mut replaced = 0u64;
+        for p in &prevs {
+            for &bits in p.lock().unwrap().iter() {
+                if bits != 0 {
+                    assert!(valid.contains(&bits));
+                    replaced += 1;
+                }
+            }
+        }
+        assert_eq!(
+            replaced,
+            8 * 50 - 1,
+            "every install except the last resident was replaced"
+        );
+        for p in ptrs {
+            unsafe { free(&rt, p) };
+        }
+    });
+}

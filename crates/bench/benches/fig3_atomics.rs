@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 3: wall-clock overhead of the mixed
+//! 25/25/25/25 atomic-op workload per variant. The figure's *scaling
+//! curves* come from the `harness` binary (virtual time); this bench
+//! tracks the real implementation overhead per variant so regressions in
+//! the hot paths show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas_bench::{fig3_dist, fig3_shared, runtime, Variant};
+
+fn bench_fig3(c: &mut Criterion) {
+    let ops: u64 = 4096;
+
+    let mut group = c.benchmark_group("fig3_shared");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for variant in Variant::ALL {
+        for net in [true, false] {
+            let rt = runtime(1, net);
+            let label = format!("{}/net={}", variant.label(), if net { "on" } else { "off" });
+            group.bench_with_input(BenchmarkId::new(label, 4), &rt, |b, rt| {
+                b.iter(|| fig3_shared(rt, 4, ops, variant));
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig3_distributed");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for variant in Variant::ALL {
+        for locales in [2usize, 4] {
+            let rt = runtime(locales, true);
+            group.bench_with_input(BenchmarkId::new(variant.label(), locales), &rt, |b, rt| {
+                b.iter(|| fig3_dist(rt, 2, ops, variant));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 4: deletion workload with `tryReclaim`
+//! called once per 1024 iterations (wall-clock per-locale-count samples;
+//! the scaling curve itself comes from the harness binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas_bench::{fig_deletion, runtime};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_reclaim_per_1024");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for locales in [1usize, 2, 4] {
+        let rt = runtime(locales, true);
+        group.bench_with_input(BenchmarkId::from_parameter(locales), &rt, |b, rt| {
+            b.iter(|| fig_deletion(rt, 2048, Some(1024), 50));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for Figure 5: deletion workload with `tryReclaim`
+//! called every iteration — the stress case for the election flags.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas_bench::{fig_deletion, runtime};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_reclaim_every_iter");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for locales in [1usize, 2, 4] {
+        let rt = runtime(locales, true);
+        group.bench_with_input(BenchmarkId::from_parameter(locales), &rt, |b, rt| {
+            b.iter(|| fig_deletion(rt, 256, Some(1), 50));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

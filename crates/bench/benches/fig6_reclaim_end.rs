@@ -1,0 +1,22 @@
+//! Criterion bench for Figure 6: defer everything, reclaim only at the
+//! end, across remote-object ratios (the scatter list's showcase).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas_bench::{fig_deletion, runtime};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_reclaim_at_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for remote_pct in [0u32, 50, 100] {
+        let rt = runtime(4, true);
+        group.bench_with_input(BenchmarkId::new("remote_pct", remote_pct), &rt, |b, rt| {
+            b.iter(|| fig_deletion(rt, 2048, None, remote_pct));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 7: the read-only pin/unpin workload — the
+//! privatization fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas_bench::{fig7_read_only, runtime};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_read_only_pin_unpin");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for locales in [1usize, 2, 4] {
+        for net in [true, false] {
+            let rt = runtime(locales, net);
+            let label = format!("locales={locales}/net={}", if net { "on" } else { "off" });
+            group.bench_with_input(BenchmarkId::from_parameter(label), &rt, |b, rt| {
+                b.iter(|| fig7_read_only(rt, 2, 2048));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Wall-clock throughput of the data-structure layer (stack, queue,
+//! ordered sets, hash map) — regression tracking for the application
+//! crates built on the paper's primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgas_nb::prelude::*;
+use pgas_nb::sim::{Runtime, RuntimeConfig};
+
+fn bench_structures(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::zero_latency(2));
+    let mut group = c.benchmark_group("structures_ops");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("stack_push_pop_256", |b| {
+        rt.run(|| {
+            let s: LockFreeStack<u64> = LockFreeStack::new();
+            let tok = s.register();
+            b.iter(|| {
+                for i in 0..256u64 {
+                    s.push(&tok, i);
+                }
+                while s.pop(&tok).is_some() {}
+                s.try_reclaim();
+            });
+            drop(tok);
+            s.clear_reclaim();
+        });
+    });
+
+    group.bench_function("queue_enq_deq_256", |b| {
+        rt.run(|| {
+            let q: MsQueue<u64> = MsQueue::new();
+            let tok = q.register();
+            b.iter(|| {
+                for i in 0..256u64 {
+                    q.enqueue(&tok, i);
+                }
+                while q.dequeue(&tok).is_some() {}
+                q.try_reclaim();
+            });
+            drop(tok);
+            q.clear_reclaim();
+        });
+    });
+
+    group.bench_function("list_insert_remove_128", |b| {
+        rt.run(|| {
+            let l: LockFreeList<u64> = LockFreeList::new();
+            let tok = l.register();
+            b.iter(|| {
+                for k in 0..128u64 {
+                    l.insert(&tok, k);
+                }
+                for k in 0..128u64 {
+                    l.remove(&tok, k);
+                }
+                l.try_reclaim();
+            });
+            drop(tok);
+            l.clear_reclaim();
+        });
+    });
+
+    group.bench_function("skiplist_insert_remove_128", |b| {
+        rt.run(|| {
+            let s: LockFreeSkipList<u64> = LockFreeSkipList::new();
+            let tok = s.register();
+            b.iter(|| {
+                for k in 0..128u64 {
+                    s.insert(&tok, k);
+                }
+                for k in 0..128u64 {
+                    s.remove(&tok, k);
+                }
+                s.try_reclaim();
+            });
+            drop(tok);
+            s.clear_reclaim();
+        });
+    });
+
+    group.bench_function("map_insert_get_remove_128", |b| {
+        rt.run(|| {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(64);
+            let tok = m.register();
+            b.iter(|| {
+                for k in 0..128u64 {
+                    m.insert(&tok, k, k);
+                }
+                for k in 0..128u64 {
+                    std::hint::black_box(m.get(&tok, &k));
+                }
+                for k in 0..128u64 {
+                    m.remove(&tok, &k);
+                }
+                m.try_reclaim();
+            });
+            drop(tok);
+            m.clear_reclaim();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

@@ -1,0 +1,307 @@
+//! The figure harness: regenerates every table/figure of the paper's
+//! evaluation section (§III, Figures 3–7) plus the DESIGN.md ablations.
+//!
+//! ```text
+//! cargo run -p pgas-bench --release --bin harness -- all
+//! cargo run -p pgas-bench --release --bin harness -- fig3
+//! cargo run -p pgas-bench --release --bin harness -- fig4 fig5 fig6 fig7
+//! cargo run -p pgas-bench --release --bin harness -- ablations
+//! cargo run -p pgas-bench --release --bin harness -- --quick all
+//! ```
+//!
+//! Each figure prints one row per measured point. `vtime` is the virtual
+//! makespan from the simulator's Aries-class cost model (the number whose
+//! *shape* reproduces the paper); `wall` is host wall-clock time and only
+//! meaningful as an implementation-overhead sanity check.
+
+use pgas_bench::{
+    ablate_election, ablate_local_manager, ablate_privatization, ablate_reclamation_scheme,
+    ablate_scatter, ablate_wide, fig3_dist, fig3_shared, fig7_read_only, fig_deletion, runtime,
+    Sample, Variant, LOCALE_SWEEP, TASK_SWEEP,
+};
+
+struct Scale {
+    fig3_ops: u64,
+    fig4_objects: usize,
+    fig5_objects: usize,
+    fig6_objects: usize,
+    fig7_iters: u64,
+    ablate_objects: usize,
+}
+
+const FULL: Scale = Scale {
+    fig3_ops: 1 << 16,
+    fig4_objects: 1 << 15,
+    fig5_objects: 1 << 13,
+    fig6_objects: 1 << 14,
+    fig7_iters: 1 << 13,
+    ablate_objects: 1 << 13,
+};
+
+const QUICK: Scale = Scale {
+    fig3_ops: 1 << 12,
+    fig4_objects: 1 << 11,
+    fig5_objects: 1 << 9,
+    fig6_objects: 1 << 11,
+    fig7_iters: 1 << 9,
+    ablate_objects: 1 << 9,
+};
+
+fn row(label: &str, x_name: &str, x: usize, extra: &str, s: Sample) {
+    println!(
+        "{label:<34} {x_name}={x:<3} {extra:<18} vtime={:>12.3} ms  \
+         ns/op={:>9.1}  mops={:>8.2}  wall={:>8.1} ms",
+        s.vtime_ns as f64 / 1e6,
+        s.ns_per_op(),
+        s.mops(),
+        s.wall_ns as f64 / 1e6,
+    );
+}
+
+fn fig3(sc: &Scale) {
+    println!(
+        "\n=== Figure 3: AtomicObject vs atomic int (25/25/25/25 read/write/CAS/exchange) ==="
+    );
+    println!("--- shared memory: strong scaling over tasks, 1 locale ---");
+    for net in [true, false] {
+        let net_lbl = if net {
+            "net-atomics=on"
+        } else {
+            "net-atomics=off"
+        };
+        for variant in Variant::ALL {
+            for &tasks in &TASK_SWEEP {
+                let rt = runtime(1, net);
+                let s = fig3_shared(&rt, tasks, sc.fig3_ops, variant);
+                row(variant.label(), "tasks", tasks, net_lbl, s);
+            }
+        }
+    }
+    println!("--- distributed: strong scaling over locales, 4 tasks/locale ---");
+    for net in [true, false] {
+        let net_lbl = if net {
+            "net-atomics=on"
+        } else {
+            "net-atomics=off"
+        };
+        for variant in Variant::ALL {
+            for &locales in &LOCALE_SWEEP {
+                let rt = runtime(locales, net);
+                let s = fig3_dist(&rt, 4, sc.fig3_ops, variant);
+                row(variant.label(), "locales", locales, net_lbl, s);
+            }
+        }
+    }
+}
+
+fn fig_deletion_sweep(name: &str, objects: usize, per_iter: Option<u64>, remote_pct: u32) {
+    for net in [true, false] {
+        let net_lbl = if net {
+            "net-atomics=on"
+        } else {
+            "net-atomics=off"
+        };
+        for &locales in &LOCALE_SWEEP {
+            let rt = runtime(locales, net);
+            let (s, stats) = fig_deletion(&rt, objects, per_iter, remote_pct);
+            row(name, "locales", locales, net_lbl, s);
+            if locales == *LOCALE_SWEEP.last().unwrap() {
+                println!("    └─ reclaim stats @{locales} locales: {stats}");
+            }
+        }
+    }
+}
+
+fn fig4(sc: &Scale) {
+    println!("\n=== Figure 4: deletion, tryReclaim every 1024 iterations ===");
+    fig_deletion_sweep(
+        "deferDelete+tryReclaim/1024",
+        sc.fig4_objects,
+        Some(1024),
+        50,
+    );
+}
+
+fn fig5(sc: &Scale) {
+    println!("\n=== Figure 5: deletion, tryReclaim every iteration ===");
+    fig_deletion_sweep("deferDelete+tryReclaim/1", sc.fig5_objects, Some(1), 50);
+}
+
+fn fig6(sc: &Scale) {
+    println!("\n=== Figure 6: deletion, reclamation only at end; remote ratio 0/50/100% ===");
+    for remote_pct in [0u32, 50, 100] {
+        for &locales in &LOCALE_SWEEP {
+            let rt = runtime(locales, true);
+            let (s, _) = fig_deletion(&rt, sc.fig6_objects, None, remote_pct);
+            row(
+                &format!("defer+clear remote={remote_pct}%"),
+                "locales",
+                locales,
+                "net-atomics=on",
+                s,
+            );
+        }
+    }
+}
+
+fn fig7(sc: &Scale) {
+    println!("\n=== Figure 7: read-only workload (pin/unpin), no deletion ===");
+    for net in [true, false] {
+        let net_lbl = if net {
+            "net-atomics=on"
+        } else {
+            "net-atomics=off"
+        };
+        for &locales in &LOCALE_SWEEP {
+            let rt = runtime(locales, net);
+            let s = fig7_read_only(&rt, 4, sc.fig7_iters);
+            row("pin/unpin read-only", "locales", locales, net_lbl, s);
+        }
+    }
+}
+
+fn ablations(sc: &Scale) {
+    println!("\n=== Ablation A1: scatter-list bulk free vs per-object remote frees ===");
+    for &locales in &[2usize, 4, 8] {
+        for scatter in [true, false] {
+            let rt = runtime(locales, true);
+            let (s, comm) = ablate_scatter(&rt, sc.ablate_objects, scatter);
+            row(
+                if scatter {
+                    "scatter=on "
+                } else {
+                    "scatter=off"
+                },
+                "locales",
+                locales,
+                &format!("AMs={}", comm.am_sent),
+                s,
+            );
+        }
+    }
+
+    println!("\n=== Ablation A2: privatized instance vs single shared instance ===");
+    for &locales in &[2usize, 4, 8] {
+        for privatized in [true, false] {
+            let rt = runtime(locales, false);
+            let s = ablate_privatization(&rt, sc.fig7_iters, privatized);
+            row(
+                if privatized {
+                    "privatized "
+                } else {
+                    "shared@L0  "
+                },
+                "locales",
+                locales,
+                "net-atomics=off",
+                s,
+            );
+        }
+    }
+
+    println!("\n=== Ablation A3: reclamation election vs every-caller scans ===");
+    for &locales in &[2usize, 4, 8] {
+        for elected in [true, false] {
+            let rt = runtime(locales, true);
+            let s = ablate_election(&rt, sc.ablate_objects / 4, elected);
+            row(
+                if elected {
+                    "election=on "
+                } else {
+                    "election=off"
+                },
+                "locales",
+                locales,
+                "tryReclaim/iter",
+                s,
+            );
+        }
+    }
+
+    println!("\n=== Ablation A5: LocalEpochManager vs EpochManager (single locale) ===");
+    for local in [true, false] {
+        let (s, advances) = ablate_local_manager(sc.ablate_objects, local);
+        row(
+            if local {
+                "LocalEpochManager"
+            } else {
+                "EpochManager     "
+            },
+            "locales",
+            1,
+            &format!("advances={advances}"),
+            s,
+        );
+    }
+
+    println!("\n=== Ablation A6: epoch-based reclamation vs hazard pointers ===");
+    for chain_len in [1usize, 8, 32] {
+        for ebr in [true, false] {
+            let (s, reclaimed) = ablate_reclamation_scheme(sc.fig3_ops / 16, chain_len, 64, ebr);
+            row(
+                if ebr {
+                    "EBR (pin/unpin)"
+                } else {
+                    "hazard pointers"
+                },
+                "hops",
+                chain_len,
+                &format!("reclaimed={reclaimed}"),
+                s,
+            );
+        }
+    }
+
+    println!("\n=== Ablation A4: compressed pointers (RDMA) vs wide fallback (DCAS/AM) ===");
+    for &locales in &[2usize, 4, 8] {
+        for wide in [false, true] {
+            let s = ablate_wide(locales, sc.fig3_ops / 4, wide);
+            row(
+                if wide { "wide (>2^16)" } else { "compressed " },
+                "locales",
+                locales,
+                "net-atomics=on",
+                s,
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sc = if quick { &QUICK } else { &FULL };
+    let wants = |name: &str| {
+        args.iter().any(|a| a == name) || args.iter().any(|a| a == "all") || args.is_empty()
+    };
+
+    println!(
+        "pgas-nonblocking figure harness (scale: {})",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "virtual-time model: Aries-class constants \
+         (NIC atomic ~0.95us, AM ~2.5us round trip, CPU atomic 20ns)"
+    );
+
+    let t0 = std::time::Instant::now();
+    if wants("fig3") {
+        fig3(sc);
+    }
+    if wants("fig4") {
+        fig4(sc);
+    }
+    if wants("fig5") {
+        fig5(sc);
+    }
+    if wants("fig6") {
+        fig6(sc);
+    }
+    if wants("fig7") {
+        fig7(sc);
+    }
+    if wants("ablations") || args.iter().any(|a| a.starts_with("ablate")) {
+        ablations(sc);
+    }
+    println!("\nharness done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,700 @@
+//! Workload implementations for the paper's evaluation (Figures 3–7) and
+//! the DESIGN.md ablations, shared by the `harness` binary and the
+//! Criterion benches.
+//!
+//! Because the host machine is not a 64-node Cray, scaling curves are
+//! reported in **virtual time** (see `pgas_sim::vtime`): a deterministic
+//! discrete-event cost model with Aries-class constants, driven by the
+//! real concurrent execution of the algorithms. Wall-clock time is also
+//! reported as a secondary column.
+
+use std::time::Instant;
+
+use pgas_nb::prelude::*;
+use pgas_nb::sim::vtime;
+use pgas_nb::sim::CommSnapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which atomic implementation a Fig. 3 measurement exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Chapel's `atomic int` baseline.
+    AtomicInt,
+    /// `AtomicObject` without ABA protection (64-bit compressed pointer).
+    AtomicObject,
+    /// `AtomicObject` with ABA protection (128-bit DCAS).
+    AtomicObjectAba,
+}
+
+impl Variant {
+    pub const ALL: [Variant; 3] = [
+        Variant::AtomicInt,
+        Variant::AtomicObject,
+        Variant::AtomicObjectAba,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::AtomicInt => "atomic-int",
+            Variant::AtomicObject => "AtomicObject",
+            Variant::AtomicObjectAba => "AtomicObject(ABA)",
+        }
+    }
+}
+
+/// One measured data point.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Virtual makespan of the measured region, nanoseconds.
+    pub vtime_ns: u64,
+    /// Wall-clock duration of the measured region, nanoseconds.
+    pub wall_ns: u64,
+    /// Operations performed in the measured region.
+    pub ops: u64,
+}
+
+impl Sample {
+    /// Millions of operations per second of *virtual* time.
+    pub fn mops(&self) -> f64 {
+        if self.vtime_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.ops as f64 * 1e3 / self.vtime_ns as f64
+    }
+
+    /// Virtual nanoseconds per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        self.vtime_ns as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// The 25/25/25/25 read/write/CAS/exchange mix from §III-A, one task,
+/// operating on task-private local cells (the paper's overhead
+/// microbenchmark: independent cells isolate abstraction overhead from
+/// contention).
+fn mixed_ops(variant: Variant, ops: u64) {
+    let rt = current_runtime();
+    match variant {
+        Variant::AtomicInt => {
+            let cell = AtomicInt::new(0);
+            for i in 0..ops {
+                match i % 4 {
+                    0 => {
+                        let _ = cell.read();
+                    }
+                    1 => cell.write(i),
+                    2 => {
+                        let cur = cell.read();
+                        let _ = cell.compare_and_swap(cur, i);
+                    }
+                    _ => {
+                        let _ = cell.exchange(i);
+                    }
+                }
+            }
+        }
+        Variant::AtomicObject => {
+            let a = alloc_local(&rt, 0u64);
+            let b = alloc_local(&rt, 1u64);
+            let cell = AtomicObject::new(a);
+            for i in 0..ops {
+                let target = if i % 2 == 0 { a } else { b };
+                match i % 4 {
+                    0 => {
+                        let _ = cell.read();
+                    }
+                    1 => cell.write(target),
+                    2 => {
+                        let cur = cell.read();
+                        let _ = cell.compare_and_swap(cur, target);
+                    }
+                    _ => {
+                        let _ = cell.exchange(target);
+                    }
+                }
+            }
+            unsafe {
+                free(&rt, a);
+                free(&rt, b);
+            }
+        }
+        Variant::AtomicObjectAba => {
+            let a = alloc_local(&rt, 0u64);
+            let b = alloc_local(&rt, 1u64);
+            let cell = AtomicAbaObject::new(a);
+            for i in 0..ops {
+                let target = if i % 2 == 0 { a } else { b };
+                match i % 4 {
+                    0 => {
+                        let _ = cell.read_aba();
+                    }
+                    1 => cell.write_aba(target),
+                    2 => {
+                        let cur = cell.read_aba();
+                        let _ = cell.compare_and_swap_aba(cur, target);
+                    }
+                    _ => {
+                        let _ = cell.exchange_aba(target);
+                    }
+                }
+            }
+            unsafe {
+                free(&rt, a);
+                free(&rt, b);
+            }
+        }
+    }
+}
+
+/// Fig. 3, shared-memory panel: strong scaling over `tasks` on one
+/// locale; `total_ops` divided among the tasks.
+pub fn fig3_shared(rt: &Runtime, tasks: usize, total_ops: u64, variant: Variant) -> Sample {
+    let per_task = total_ops / tasks as u64;
+    let wall = Instant::now();
+    let ((), vt) = rt.run_measured(|| {
+        rt.coforall_tasks(tasks, |_| mixed_ops(variant, per_task));
+    });
+    Sample {
+        vtime_ns: vt,
+        wall_ns: wall.elapsed().as_nanos() as u64,
+        ops: per_task * tasks as u64,
+    }
+}
+
+/// Fig. 3, distributed panel: strong scaling over the runtime's locales
+/// with `tasks_per_locale` tasks each; `total_ops` divided among all
+/// tasks.
+pub fn fig3_dist(
+    rt: &Runtime,
+    tasks_per_locale: usize,
+    total_ops: u64,
+    variant: Variant,
+) -> Sample {
+    let n_tasks = (rt.num_locales() * tasks_per_locale) as u64;
+    let per_task = total_ops / n_tasks;
+    let wall = Instant::now();
+    let ((), vt) = rt.run_measured(|| {
+        rt.coforall_locales(|_| {
+            rt.coforall_tasks(tasks_per_locale, |_| mixed_ops(variant, per_task));
+        });
+    });
+    Sample {
+        vtime_ns: vt,
+        wall_ns: wall.elapsed().as_nanos() as u64,
+        ops: per_task * n_tasks,
+    }
+}
+
+/// Figs. 4 & 5 (Listing 5): distributed objects, each task pins, defers
+/// the visited object, unpins, and calls `tryReclaim` every
+/// `per_iteration` operations (`None` = never during the loop — Fig. 6's
+/// regime). Returns the sample over the deletion loop plus the final
+/// `clear`, excluding allocation.
+pub fn fig_deletion(
+    rt: &Runtime,
+    num_objects: usize,
+    per_iteration: Option<u64>,
+    remote_percent: u32,
+) -> (Sample, pgas_nb::epoch::ReclaimSnapshot) {
+    let locales = rt.num_locales();
+    let mut out = None;
+    rt.run(|| {
+        let em = EpochManager::new();
+        let rt_h = current_runtime();
+        // Pre-allocate objects. Index i is visited by a task on locale
+        // i % L (cyclic); with probability remote_percent/100 the object
+        // lives on a random *other* locale, else on the visiting locale.
+        let mut rng = StdRng::seed_from_u64(0xF16);
+        let objs: Vec<GlobalPtr<u64>> = (0..num_objects)
+            .map(|i| {
+                let visiting = (i % locales) as LocaleId;
+                let owner = if locales > 1 && rng.gen_range(0..100) < remote_percent {
+                    let mut o = rng.gen_range(0..locales) as LocaleId;
+                    while o == visiting {
+                        o = rng.gen_range(0..locales) as LocaleId;
+                    }
+                    o
+                } else {
+                    visiting
+                };
+                alloc_on(&rt_h, owner, i as u64)
+            })
+            .collect();
+
+        let wall = Instant::now();
+        let t0 = vtime::now();
+        rt.forall_dist(
+            num_objects,
+            |_, _| (em.register(), 0u64),
+            |(tok, m), i| {
+                tok.pin();
+                tok.defer_delete(objs[i]);
+                tok.unpin();
+                *m += 1;
+                if let Some(k) = per_iteration {
+                    if *m % k == 0 {
+                        tok.try_reclaim();
+                    }
+                }
+            },
+        );
+        em.clear();
+        let sample = Sample {
+            vtime_ns: vtime::now() - t0,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            ops: num_objects as u64,
+        };
+        assert_eq!(rt.live_objects(), 0, "reclamation must be complete");
+        out = Some((sample, em.stats()));
+    });
+    out.unwrap()
+}
+
+/// Fig. 7: read-only workload — pin/unpin per iteration, no deletion.
+/// Weak scaling: `iters_per_task` per task on every locale.
+pub fn fig7_read_only(rt: &Runtime, tasks_per_locale: usize, iters_per_task: u64) -> Sample {
+    let wall = Instant::now();
+    let mut ops = 0;
+    let ((), vt) = rt.run_measured(|| {
+        let em = EpochManager::new();
+        rt.coforall_locales(|_| {
+            rt.coforall_tasks(tasks_per_locale, |_| {
+                let tok = em.register();
+                for _ in 0..iters_per_task {
+                    tok.pin();
+                    tok.unpin();
+                }
+            });
+        });
+    });
+    ops += (rt.num_locales() * tasks_per_locale) as u64 * iters_per_task;
+    Sample {
+        vtime_ns: vt,
+        wall_ns: wall.elapsed().as_nanos() as u64,
+        ops,
+    }
+}
+
+/// Ablation A1: the Fig. 6 workload at 100% remote objects, with the
+/// scatter-list bulk free disabled (one active message per object).
+pub fn ablate_scatter(rt: &Runtime, num_objects: usize, scatter: bool) -> (Sample, CommSnapshot) {
+    let locales = rt.num_locales();
+    let mut out = None;
+    rt.run(|| {
+        let em = EpochManager::new();
+        em.set_scatter(scatter);
+        let rt_h = current_runtime();
+        let objs: Vec<GlobalPtr<u64>> = (0..num_objects)
+            .map(|i| {
+                let visiting = (i % locales) as LocaleId;
+                let owner = ((visiting as usize + 1) % locales) as LocaleId; // always remote
+                alloc_on(&rt_h, owner, i as u64)
+            })
+            .collect();
+        {
+            let tok = em.register();
+            tok.pin();
+            for &o in &objs {
+                tok.defer_delete(o);
+            }
+            tok.unpin();
+        }
+        rt.reset_metrics();
+        let wall = Instant::now();
+        let t0 = vtime::now();
+        em.clear();
+        let sample = Sample {
+            vtime_ns: vtime::now() - t0,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            ops: num_objects as u64,
+        };
+        assert_eq!(rt.live_objects(), 0);
+        out = Some((sample, rt.total_comm()));
+    });
+    out.unwrap()
+}
+
+/// Ablation A2: privatized (zero-communication) epoch-cache access vs a
+/// single shared instance on locale 0 that every pin consults remotely.
+pub fn ablate_privatization(rt: &Runtime, iters_per_task: u64, privatized: bool) -> Sample {
+    let tasks = 2;
+    let mut out = None;
+    rt.run(|| {
+        // Setup (instance construction) is excluded from the measurement.
+        let caches = pgas_nb::sim::Privatized::new(&current_runtime(), |l| AtomicInt::new_on(l, 1));
+        let shared = AtomicInt::new_on(0, 1);
+        let wall = Instant::now();
+        let t0 = vtime::now();
+        rt.coforall_locales(|_| {
+            rt.coforall_tasks(tasks, |_| {
+                for _ in 0..iters_per_task {
+                    let _ = if privatized {
+                        // One epoch cache per locale (the EpochManager way).
+                        caches.get().read()
+                    } else {
+                        // A single instance on locale 0 everyone consults.
+                        shared.read()
+                    };
+                }
+            });
+        });
+        out = Some(Sample {
+            vtime_ns: vtime::now() - t0,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            ops: (rt.num_locales() * tasks) as u64 * iters_per_task,
+        });
+    });
+    out.unwrap()
+}
+
+/// Ablation A3: the Fig. 5 regime (tryReclaim every iteration) with the
+/// first-come-first-serve election enabled vs disabled (every caller
+/// scans).
+pub fn ablate_election(rt: &Runtime, num_objects: usize, elected: bool) -> Sample {
+    let mut out = None;
+    rt.run(|| {
+        let em = EpochManager::new();
+        let rt_h = current_runtime();
+        let objs: Vec<GlobalPtr<u64>> = (0..num_objects)
+            .map(|i| alloc_local(&rt_h, i as u64))
+            .collect();
+        let wall = Instant::now();
+        let t0 = vtime::now();
+        rt.forall_dist(
+            num_objects,
+            |_, _| em.register(),
+            |tok, i| {
+                tok.pin();
+                tok.defer_delete(objs[i]);
+                tok.unpin();
+                if elected {
+                    em.try_reclaim();
+                } else {
+                    em.try_reclaim_unelected();
+                }
+            },
+        );
+        em.clear();
+        out = Some(Sample {
+            vtime_ns: vtime::now() - t0,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            ops: num_objects as u64,
+        });
+        assert_eq!(rt.live_objects(), 0);
+    });
+    out.unwrap()
+}
+
+/// A chain node for the reclamation-scheme ablation.
+pub struct ChainNode {
+    /// Payload (read by traversals).
+    pub value: u64,
+    /// Next link.
+    pub next: AtomicObject<ChainNode>,
+}
+
+/// Ablation A6: EBR vs hazard pointers on a *linked traversal* — the
+/// Hart et al. trade-off the paper's §I invokes. Each operation walks a
+/// chain of `chain_len` nodes; EBR pays one pin/unpin per traversal,
+/// hazard pointers pay a fenced publication + validation per *hop*.
+/// Every `writes_every` traversals the head node is replaced and the old
+/// one retired.
+pub fn ablate_reclamation_scheme(
+    traversals: u64,
+    chain_len: usize,
+    writes_every: u64,
+    use_ebr: bool,
+) -> (Sample, u64) {
+    let rt = Runtime::new(RuntimeConfig::shared_memory());
+    let mut out = None;
+    rt.run(|| {
+        let rt_h = current_runtime();
+        // Build the chain back to front.
+        let mut head = GlobalPtr::null();
+        for i in (0..chain_len).rev() {
+            let node = alloc_local(
+                &rt_h,
+                ChainNode {
+                    value: i as u64,
+                    next: AtomicObject::new(head),
+                },
+            );
+            head = node;
+        }
+        let head_cell = AtomicObject::new(head);
+
+        let wall = Instant::now();
+        let t0 = vtime::now();
+        let reclaimed;
+        if use_ebr {
+            let em = pgas_nb::epoch::LocalEpochManager::new();
+            let tok = em.register();
+            for i in 0..traversals {
+                tok.pin();
+                let mut cur = head_cell.read();
+                while !cur.is_null() {
+                    let node = unsafe { cur.deref() };
+                    std::hint::black_box(node.value);
+                    cur = node.next.read();
+                }
+                if i % writes_every == 0 {
+                    let old_head = head_cell.read();
+                    let next = unsafe { old_head.deref() }.next.read();
+                    let fresh = alloc_local(
+                        &rt_h,
+                        ChainNode {
+                            value: i,
+                            next: AtomicObject::new(next),
+                        },
+                    );
+                    head_cell.write(fresh);
+                    tok.defer_delete(old_head);
+                }
+                tok.unpin();
+                if i % 64 == 0 {
+                    em.try_reclaim();
+                }
+            }
+            drop(tok);
+            em.clear();
+            reclaimed = em.stats().objects_reclaimed;
+        } else {
+            let dom = pgas_nb::epoch::HazardDomain::new();
+            let tok = dom.register();
+            for i in 0..traversals {
+                // Hand-over-hand hazard protection, alternating two slots.
+                let mut slot = 0;
+                let mut cur = tok.protect(slot, &head_cell);
+                while !cur.is_null() {
+                    let node = unsafe { cur.deref() };
+                    std::hint::black_box(node.value);
+                    slot ^= 1;
+                    cur = tok.protect(slot, &node.next);
+                }
+                tok.release(0);
+                tok.release(1);
+                if i % writes_every == 0 {
+                    let old_head = head_cell.read();
+                    let next = unsafe { old_head.deref() }.next.read();
+                    let fresh = alloc_local(
+                        &rt_h,
+                        ChainNode {
+                            value: i,
+                            next: AtomicObject::new(next),
+                        },
+                    );
+                    head_cell.write(fresh);
+                    tok.retire(old_head);
+                }
+            }
+            drop(tok);
+            dom.reclaim_all();
+            reclaimed = dom.reclaimed();
+        }
+        // Quiescent teardown: free the remaining chain.
+        let mut cur = head_cell.read();
+        while !cur.is_null() {
+            let next = unsafe { cur.deref() }.next.read();
+            unsafe { pgas_nb::sim::free(&rt_h, cur) };
+            cur = next;
+        }
+        out = Some((
+            Sample {
+                vtime_ns: vtime::now() - t0,
+                wall_ns: wall.elapsed().as_nanos() as u64,
+                ops: traversals,
+            },
+            reclaimed,
+        ));
+        assert_eq!(rt.live_objects(), 0);
+    });
+    out.unwrap()
+}
+
+/// Ablation A5: `LocalEpochManager` vs `EpochManager` on a single-locale
+/// workload — what the shared-memory-optimized variant saves (no global
+/// epoch object, no cross-locale scan).
+pub fn ablate_local_manager(num_objects: usize, local: bool) -> (Sample, u64) {
+    let rt = Runtime::new(RuntimeConfig::cluster(1));
+    let mut out = None;
+    rt.run(|| {
+        let rt_h = current_runtime();
+        let objs: Vec<GlobalPtr<u64>> = (0..num_objects)
+            .map(|i| alloc_local(&rt_h, i as u64))
+            .collect();
+        let wall = Instant::now();
+        let t0 = vtime::now();
+        let reclaims = if local {
+            let em = LocalEpochManager::new();
+            let tok = em.register();
+            for (i, &o) in objs.iter().enumerate() {
+                tok.pin();
+                tok.defer_delete(o);
+                tok.unpin();
+                if i % 64 == 0 {
+                    em.try_reclaim();
+                }
+            }
+            drop(tok);
+            em.clear();
+            em.stats().advances
+        } else {
+            let em = EpochManager::new();
+            let tok = em.register();
+            for (i, &o) in objs.iter().enumerate() {
+                tok.pin();
+                tok.defer_delete(o);
+                tok.unpin();
+                if i % 64 == 0 {
+                    em.try_reclaim();
+                }
+            }
+            drop(tok);
+            em.clear();
+            em.stats().advances
+        };
+        out = Some((
+            Sample {
+                vtime_ns: vtime::now() - t0,
+                wall_ns: wall.elapsed().as_nanos() as u64,
+                ops: num_objects as u64,
+            },
+            reclaims,
+        ));
+        assert_eq!(rt.live_objects(), 0);
+    });
+    out.unwrap()
+}
+
+/// Ablation A4: *remote* `AtomicObject` operations under forced wide
+/// pointers (the > 2^16-locale fallback, DCAS + active messages) vs the
+/// compressed representation (single-word RDMA atomics). Each locale's
+/// tasks hammer cells owned by the *next* locale, so the wide variant
+/// funnels through progress threads while the compressed one rides the
+/// NIC one-sidedly.
+pub fn ablate_wide(locales: usize, total_ops: u64, wide: bool) -> Sample {
+    let cfg = if wide {
+        RuntimeConfig::cluster(locales).with_wide_pointers()
+    } else {
+        RuntimeConfig::cluster(locales)
+    };
+    let rt = Runtime::new(cfg);
+    let tasks = 2usize;
+    let n_tasks = (locales * tasks) as u64;
+    let per_task = (total_ops / n_tasks).max(1);
+    let wall = Instant::now();
+    let ((), vt) = rt.run_measured(|| {
+        rt.coforall_locales(|l| {
+            let owner = ((l as usize + 1) % rt.num_locales()) as LocaleId;
+            rt.coforall_tasks(tasks, |_| {
+                let cell = AtomicObject::<u64>::new_on(owner, GlobalPtr::null());
+                for i in 0..per_task {
+                    match i % 3 {
+                        0 => {
+                            let _ = cell.read();
+                        }
+                        1 => cell.write(GlobalPtr::null()),
+                        _ => {
+                            let _ = cell.exchange(GlobalPtr::null());
+                        }
+                    }
+                }
+            });
+        });
+    });
+    Sample {
+        vtime_ns: vt,
+        wall_ns: wall.elapsed().as_nanos() as u64,
+        ops: per_task * n_tasks,
+    }
+}
+
+/// Build a runtime for a figure measurement.
+pub fn runtime(locales: usize, network_atomics: bool) -> Runtime {
+    let cfg = if network_atomics {
+        RuntimeConfig::cluster(locales)
+    } else {
+        RuntimeConfig::cluster(locales).without_network_atomics()
+    };
+    Runtime::new(cfg)
+}
+
+/// The locale counts swept by the distributed figures.
+pub const LOCALE_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+/// The task counts swept by the shared-memory panel of Fig. 3.
+pub const TASK_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_samples_have_expected_costs() {
+        let rt = runtime(1, true);
+        let s = fig3_shared(&rt, 2, 1024, Variant::AtomicInt);
+        assert_eq!(s.ops, 1024);
+        // 512 ops/task in parallel: makespan ≈ ops-per-task × (nic + extra
+        // read for CAS ops).
+        assert!(s.vtime_ns >= 512 * rt.config.network.nic_atomic_ns);
+    }
+
+    #[test]
+    fn fig3_aba_is_cpu_bound_locally() {
+        let rt = runtime(1, true);
+        let aba = fig3_shared(&rt, 1, 512, Variant::AtomicObjectAba);
+        let int = fig3_shared(&rt, 1, 512, Variant::AtomicInt);
+        assert!(
+            aba.vtime_ns < int.vtime_ns,
+            "ABA opts out of the NIC: {} vs {}",
+            aba.vtime_ns,
+            int.vtime_ns
+        );
+    }
+
+    #[test]
+    fn fig_deletion_reclaims_everything() {
+        let rt = runtime(2, true);
+        let (s, stats) = fig_deletion(&rt, 256, Some(64), 50);
+        assert_eq!(s.ops, 256);
+        assert_eq!(stats.objects_reclaimed, 256);
+    }
+
+    #[test]
+    fn fig7_is_flat_across_locales() {
+        let s1 = fig7_read_only(&runtime(1, true), 2, 512);
+        let s4 = fig7_read_only(&runtime(4, true), 2, 512);
+        let ratio = s4.ns_per_op() / s1.ns_per_op();
+        assert!(
+            ratio < 1.5,
+            "read-only per-op cost should be stable across locales \
+             (got {:.2}x)",
+            ratio
+        );
+    }
+
+    #[test]
+    fn scatter_beats_per_object_frees() {
+        let rt = runtime(4, true);
+        let (with, comm_with) = ablate_scatter(&rt, 512, true);
+        let rt = runtime(4, true);
+        let (without, comm_without) = ablate_scatter(&rt, 512, false);
+        assert!(comm_with.am_sent < comm_without.am_sent / 10);
+        assert!(with.vtime_ns < without.vtime_ns);
+    }
+
+    #[test]
+    fn privatized_access_is_cheaper_distributed() {
+        // Without network atomics the gap is local CPU read vs remote AM.
+        let rt = runtime(4, false);
+        let p = ablate_privatization(&rt, 256, true);
+        let rt = runtime(4, false);
+        let s = ablate_privatization(&rt, 256, false);
+        assert!(
+            p.vtime_ns * 10 <= s.vtime_ns,
+            "privatized access should be far cheaper: {} vs {}",
+            p.vtime_ns,
+            s.vtime_ns
+        );
+    }
+}

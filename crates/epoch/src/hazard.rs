@@ -1,0 +1,458 @@
+//! Hazard pointers — the baseline reclamation scheme the paper weighs
+//! EBR against.
+//!
+//! §I cites Michael's hazard pointers [7] (and the comparative study of
+//! Hart et al. [9]) as the shared-memory alternatives to epoch-based
+//! reclamation. The trade is classic: hazard pointers bound unreclaimed
+//! garbage per thread and tolerate stalled readers, but every pointer
+//! *acquisition* costs a store + fence + validating re-read, whereas EBR
+//! amortizes protection over a whole pinned region. The paper chooses
+//! EBR for exactly that amortization; this module provides an honest
+//! hazard-pointer implementation so the choice is measurable
+//! (`harness -- ablations`, A6).
+//!
+//! Scope: shared-memory (single locale), like `LocalEpochManager` — the
+//! fair baseline for the comparison. Each registered participant owns a
+//! fixed number of hazard slots and a private retire list; when the list
+//! exceeds a threshold, a scan frees every retired object no slot
+//! protects.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use pgas_sim::comm;
+use pgas_sim::{ctx, Erased, GlobalPtr};
+
+/// Hazard slots per participant (enough for Treiber/MS-queue-style
+/// algorithms that need at most two protected pointers at once).
+pub const SLOTS_PER_PARTICIPANT: usize = 2;
+
+/// Retired objects a participant accumulates before scanning.
+pub const SCAN_THRESHOLD: usize = 64;
+
+struct Participant {
+    hazards: [AtomicUsize; SLOTS_PER_PARTICIPANT],
+    /// Link in the (append-only) participant list.
+    next: AtomicUsize,
+    /// 1 while registered; free participants can be re-used.
+    active: AtomicU64,
+    retired: parking_lot::Mutex<Vec<Erased>>,
+}
+
+impl Participant {
+    fn new_boxed() -> Box<Participant> {
+        Box::new(Participant {
+            hazards: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            next: AtomicUsize::new(0),
+            active: AtomicU64::new(1),
+            retired: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// A hazard-pointer domain: participant registry + reclamation.
+pub struct HazardDomain {
+    head: AtomicUsize,
+    participants: AtomicU64,
+    reclaimed: AtomicU64,
+    scans: AtomicU64,
+}
+
+impl HazardDomain {
+    /// An empty domain homed on the current locale.
+    pub fn new() -> HazardDomain {
+        let _ = pgas_sim::here(); // require context, like the managers
+        HazardDomain {
+            head: AtomicUsize::new(0),
+            participants: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+        }
+    }
+
+    /// Register the calling task.
+    pub fn register(&self) -> HazardToken<'_> {
+        // Reuse an inactive participant if any.
+        let mut cur = self.head.load(Ordering::Acquire);
+        while cur != 0 {
+            let p = unsafe { &*(cur as *const Participant) };
+            if p.active
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return HazardToken {
+                    domain: self,
+                    participant: p,
+                    _not_sync: std::marker::PhantomData,
+                };
+            }
+            cur = p.next.load(Ordering::Acquire);
+        }
+        // Allocate and append.
+        let p = Box::into_raw(Participant::new_boxed());
+        self.participants.fetch_add(1, Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            unsafe { &*p }.next.store(head, Ordering::Relaxed);
+            match self.head.compare_exchange_weak(
+                head,
+                p as usize,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        HazardToken {
+            domain: self,
+            participant: unsafe { &*p },
+            _not_sync: std::marker::PhantomData,
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Participant> {
+        let mut cur = self.head.load(Ordering::Acquire);
+        std::iter::from_fn(move || {
+            if cur == 0 {
+                return None;
+            }
+            let p = unsafe { &*(cur as *const Participant) };
+            cur = p.next.load(Ordering::Acquire);
+            Some(p)
+        })
+    }
+
+    /// All addresses currently protected by any participant.
+    fn collect_hazards(&self) -> Vec<usize> {
+        let mut hazards = Vec::new();
+        for p in self.iter() {
+            for h in &p.hazards {
+                // Each hazard read is a charged atomic (the scan cost).
+                ctx::with_core(|core, here| {
+                    let _ = comm::route_atomic_u64(core, here);
+                });
+                let a = h.load(Ordering::SeqCst);
+                if a != 0 {
+                    hazards.push(a);
+                }
+            }
+        }
+        hazards.sort_unstable();
+        hazards
+    }
+
+    fn scan(&self, retired: &mut Vec<Erased>) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        let hazards = self.collect_hazards();
+        ctx::with_core(|core, _| {
+            retired.retain(|e| {
+                if hazards.binary_search(&e.addr()).is_ok() {
+                    true // still protected
+                } else {
+                    // SAFETY: retired objects are logically removed and no
+                    // hazard covers this address.
+                    unsafe { std::ptr::read(e).run_drop(core) };
+                    self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            });
+        });
+    }
+
+    /// Free every retired object no hazard protects, across all
+    /// participants. Call in quiescence for a full teardown.
+    pub fn reclaim_all(&self) {
+        for p in self.iter() {
+            let mut retired = p.retired.lock();
+            self.scan(&mut retired);
+        }
+    }
+
+    /// Objects freed so far.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Scans performed so far.
+    pub fn scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    /// Participants ever created.
+    pub fn participants(&self) -> u64 {
+        self.participants.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for HazardDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for HazardDomain {
+    fn drop(&mut self) {
+        if pgas_sim::try_here().is_some() {
+            self.reclaim_all();
+        }
+        // Free participant records.
+        let mut cur = *self.head.get_mut();
+        while cur != 0 {
+            let p = unsafe { Box::from_raw(cur as *mut Participant) };
+            debug_assert!(
+                p.retired.lock().is_empty(),
+                "hazard domain dropped with protected retired objects"
+            );
+            cur = p.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// A registered participant's handle. `!Sync`: the hazard slots belong
+/// to one task at a time (sharing a token across tasks would race the
+/// slot stores).
+pub struct HazardToken<'a> {
+    domain: &'a HazardDomain,
+    participant: &'a Participant,
+    _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
+}
+
+impl HazardToken<'_> {
+    /// Protect the pointer currently in `cell` (slot `slot`), looping
+    /// until the protection is validated — the acquire-side cost hazard
+    /// pointers pay on *every* pointer load, where EBR pays one pin per
+    /// region.
+    pub fn protect<T>(&self, slot: usize, cell: &pgas_atomics::AtomicObject<T>) -> GlobalPtr<T> {
+        assert!(slot < SLOTS_PER_PARTICIPANT);
+        loop {
+            let p = cell.read();
+            // The hazard publication is a sequentially-consistent store
+            // (fenced); charge it like any other atomic.
+            ctx::with_core(|core, here| {
+                let _ = comm::route_atomic_u64(core, here);
+            });
+            self.participant.hazards[slot].store(p.addr(), Ordering::SeqCst);
+            // Validating re-read: the pointer must still be current.
+            let again = cell.read();
+            if again == p {
+                return p;
+            }
+        }
+    }
+
+    /// Release one hazard slot.
+    pub fn release(&self, slot: usize) {
+        assert!(slot < SLOTS_PER_PARTICIPANT);
+        ctx::with_core(|core, here| {
+            let _ = comm::route_atomic_u64(core, here);
+        });
+        self.participant.hazards[slot].store(0, Ordering::SeqCst);
+    }
+
+    /// Retire a logically-removed object; it is freed by a later scan
+    /// once no hazard covers it.
+    pub fn retire<T: Send>(&self, ptr: GlobalPtr<T>) {
+        debug_assert_eq!(
+            ptr.locale(),
+            pgas_sim::here(),
+            "the shared-memory hazard domain handles local objects only"
+        );
+        let mut retired = self.participant.retired.lock();
+        retired.push(Erased::new(ptr));
+        if retired.len() >= SCAN_THRESHOLD {
+            self.domain.scan(&mut retired);
+        }
+    }
+}
+
+impl Drop for HazardToken<'_> {
+    fn drop(&mut self) {
+        for slot in 0..SLOTS_PER_PARTICIPANT {
+            self.participant.hazards[slot].store(0, Ordering::SeqCst);
+        }
+        self.participant.active.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas_atomics::AtomicObject;
+    use pgas_sim::{alloc_local, Runtime, RuntimeConfig};
+
+    fn zrt() -> Runtime {
+        Runtime::new(RuntimeConfig::zero_latency(1))
+    }
+
+    #[test]
+    fn retire_and_reclaim_roundtrip() {
+        let rt = zrt();
+        rt.run(|| {
+            let dom = HazardDomain::new();
+            let tok = dom.register();
+            for i in 0..10 {
+                tok.retire(alloc_local(&pgas_sim::current_runtime(), i as u64));
+            }
+            drop(tok);
+            dom.reclaim_all();
+            assert_eq!(dom.reclaimed(), 10);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn protected_object_survives_scans() {
+        let rt = zrt();
+        rt.run(|| {
+            let rt_h = pgas_sim::current_runtime();
+            let dom = HazardDomain::new();
+            let reader = dom.register();
+            let writer = dom.register();
+
+            let obj = alloc_local(&rt_h, 42u64);
+            let cell = AtomicObject::new(obj);
+
+            let protected = reader.protect(0, &cell);
+            assert_eq!(protected, obj);
+
+            // Writer swaps it out and retires it.
+            let fresh = alloc_local(&rt_h, 43u64);
+            let old = cell.exchange(fresh);
+            writer.retire(old);
+            dom.reclaim_all();
+            assert_eq!(dom.reclaimed(), 0, "hazard blocks reclamation");
+            // Still valid to read:
+            assert_eq!(unsafe { *protected.deref() }, 42);
+
+            reader.release(0);
+            dom.reclaim_all();
+            assert_eq!(dom.reclaimed(), 1);
+
+            // teardown
+            writer.retire(cell.read());
+            drop(reader);
+            drop(writer);
+            dom.reclaim_all();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn protect_validates_against_racing_swap() {
+        let rt = zrt();
+        rt.run(|| {
+            let rt_h = pgas_sim::current_runtime();
+            let dom = HazardDomain::new();
+            let objs: Vec<_> = (0..4).map(|i| alloc_local(&rt_h, i as u64)).collect();
+            let cell = AtomicObject::new(objs[0]);
+            rt.coforall_tasks(3, |t| {
+                let tok = dom.register();
+                if t == 0 {
+                    for round in 0..200 {
+                        let old = cell.exchange(objs[(round + 1) % 4]);
+                        let _ = old; // objects rotate; none retired here
+                    }
+                } else {
+                    for _ in 0..300 {
+                        let p = tok.protect(0, &cell);
+                        // The protected pointer must be one of the rotation
+                        // set and safe to read.
+                        let v = unsafe { *p.deref() };
+                        assert!(v < 4);
+                        tok.release(0);
+                    }
+                }
+            });
+            for o in objs {
+                unsafe { pgas_sim::free(&rt_h, o) };
+            }
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn scan_threshold_triggers_automatic_reclaim() {
+        let rt = zrt();
+        rt.run(|| {
+            let dom = HazardDomain::new();
+            let tok = dom.register();
+            for i in 0..(SCAN_THRESHOLD * 2) {
+                tok.retire(alloc_local(&pgas_sim::current_runtime(), i as u64));
+            }
+            assert!(dom.scans() >= 1, "threshold forced a scan");
+            assert!(dom.reclaimed() >= SCAN_THRESHOLD as u64);
+            drop(tok);
+            dom.reclaim_all();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn participants_are_recycled() {
+        let rt = zrt();
+        rt.run(|| {
+            let dom = HazardDomain::new();
+            {
+                let _t = dom.register();
+            }
+            {
+                let _t = dom.register();
+            }
+            assert_eq!(dom.participants(), 1, "slot reused after drop");
+        });
+    }
+
+    #[test]
+    fn treiber_stack_on_hazard_pointers() {
+        // The same Listing-1 stack, reclaimed with hazard pointers instead
+        // of epochs — the cross-check that both schemes protect correctly.
+        struct Node {
+            #[allow(dead_code)]
+            value: u64,
+            next: GlobalPtr<Node>,
+        }
+        let rt = zrt();
+        rt.run(|| {
+            let rt_h = pgas_sim::current_runtime();
+            let dom = HazardDomain::new();
+            let head: AtomicObject<Node> = AtomicObject::null();
+
+            rt.coforall_tasks(4, |t| {
+                let tok = dom.register();
+                for i in 0..100u64 {
+                    // push
+                    let node = alloc_local(
+                        &rt_h,
+                        Node {
+                            value: t as u64 * 1000 + i,
+                            next: GlobalPtr::null(),
+                        },
+                    );
+                    loop {
+                        let cur = head.read();
+                        unsafe { &mut *node.as_ptr() }.next = cur;
+                        if head.compare_and_swap(cur, node) {
+                            break;
+                        }
+                    }
+                    // pop
+                    loop {
+                        let top = tok.protect(0, &head);
+                        if top.is_null() {
+                            break;
+                        }
+                        let next = unsafe { top.deref() }.next;
+                        if head.compare_and_swap(top, next) {
+                            tok.release(0);
+                            tok.retire(top);
+                            break;
+                        }
+                    }
+                }
+                tok.release(0);
+            });
+            dom.reclaim_all();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+}

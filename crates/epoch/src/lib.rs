@@ -1,0 +1,57 @@
+//! # pgas-epoch — distributed epoch-based memory reclamation
+//!
+//! Rust port of the paper's `EpochManager` / `LocalEpochManager`:
+//! concurrent-safe deferred deletion for non-blocking data structures in
+//! shared *and* distributed memory, built on epoch-based reclamation
+//! (Fraser, 2004) with the paper's distributed-memory machinery:
+//! privatized per-locale instances, a locale-cached epoch, wait-free limbo
+//! lists with recycled nodes, first-come-first-serve reclamation election,
+//! and scatter-list bulk frees for remote objects.
+//!
+//! ## The paper's Listing 3, in Rust
+//!
+//! ```
+//! use pgas_sim::{Runtime, RuntimeConfig, alloc_local};
+//! use pgas_epoch::EpochManager;
+//!
+//! let rt = Runtime::new(RuntimeConfig::zero_latency(2));
+//! rt.run(|| {
+//!     let em = EpochManager::new();
+//!
+//!     // Serial usage
+//!     let tok = em.register();
+//!     tok.pin();
+//!     tok.unpin();
+//!     drop(tok); // automatic unregister
+//!
+//!     // Parallel and distributed (forall ... with (var tok = em.register()))
+//!     rt.forall_dist(64, |_, _| em.register(), |tok, i| {
+//!         tok.pin();
+//!         tok.defer_delete(alloc_local(&pgas_sim::current_runtime(), i as u64));
+//!         tok.unpin();
+//!     }); // automatic unregister at task end
+//!
+//!     em.clear(); // Reclaim everything at once.
+//!     assert_eq!(rt.live_objects(), 0);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hazard;
+pub mod limbo;
+pub mod local_manager;
+pub mod manager;
+pub mod math;
+pub mod owned;
+pub mod stats;
+pub mod token;
+
+pub use hazard::{HazardDomain, HazardToken};
+pub use limbo::{LimboList, NodePool};
+pub use local_manager::{LocalEpochManager, LocalToken};
+pub use manager::{EpochManager, PinGuard, Token};
+pub use math::{limbo_index, next_epoch, reclaim_epoch, EPOCHS};
+pub use owned::OwnedAtomic;
+pub use stats::{ReclaimSnapshot, ReclaimStats};
+pub use token::QUIESCENT;

@@ -1,0 +1,73 @@
+//! Epoch arithmetic.
+//!
+//! Epochs take the values `{1, 2, 3}` (Listing 4: `(e % 3) + 1`), with `0`
+//! reserved for "not pinned". Three limbo lists correspond to the three
+//! possible epoch values; the list reclaimed after advancing to epoch `n`
+//! is the one two advances old — which, in a 3-cycle, is also the value
+//! that will become current *next*.
+
+/// Number of distinct epoch values / limbo lists.
+pub const EPOCHS: u64 = 3;
+
+/// The epoch after `e` (Listing 4's `(current_global_epoch % 3) + 1`).
+#[inline]
+pub fn next_epoch(e: u64) -> u64 {
+    debug_assert!((1..=EPOCHS).contains(&e), "epoch out of range: {e}");
+    (e % EPOCHS) + 1
+}
+
+/// After advancing *to* `new_epoch`, the epoch whose limbo list is safe to
+/// reclaim (two advances old = `new_epoch - 2` ≡ `next_epoch(new_epoch)`
+/// in the 3-cycle).
+#[inline]
+pub fn reclaim_epoch(new_epoch: u64) -> u64 {
+    next_epoch(new_epoch)
+}
+
+/// Limbo-list array index for an epoch value.
+#[inline]
+pub fn limbo_index(e: u64) -> usize {
+    debug_assert!((1..=EPOCHS).contains(&e), "epoch out of range: {e}");
+    (e - 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_cycle_1_2_3() {
+        assert_eq!(next_epoch(1), 2);
+        assert_eq!(next_epoch(2), 3);
+        assert_eq!(next_epoch(3), 1);
+    }
+
+    #[test]
+    fn reclaim_is_two_advances_behind() {
+        // advancing 1→2: reclaim 3 (the epoch before 1 in ...3,1,2)
+        assert_eq!(reclaim_epoch(2), 3);
+        assert_eq!(reclaim_epoch(3), 1);
+        assert_eq!(reclaim_epoch(1), 2);
+        // equivalently: reclaim_epoch(next(e)) is never e or next(e)
+        for e in 1..=3 {
+            let n = next_epoch(e);
+            let r = reclaim_epoch(n);
+            assert_ne!(r, e);
+            assert_ne!(r, n);
+        }
+    }
+
+    #[test]
+    fn indices_are_zero_based() {
+        assert_eq!(limbo_index(1), 0);
+        assert_eq!(limbo_index(2), 1);
+        assert_eq!(limbo_index(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
+    fn zero_epoch_has_no_limbo_list() {
+        let _ = limbo_index(0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Reclamation statistics, used by tests and the figure benchmarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Counters describing what a manager's reclamation machinery has done.
+#[derive(Debug, Default)]
+pub struct ReclaimStats {
+    /// Successful epoch advancements.
+    pub advances: CachePadded<AtomicU64>,
+    /// `try_reclaim` calls that backed out because another task on the same
+    /// locale was already electing.
+    pub lost_local_election: CachePadded<AtomicU64>,
+    /// `try_reclaim` calls that won locally but lost the global election.
+    pub lost_global_election: CachePadded<AtomicU64>,
+    /// Scans that found a token pinned in an older epoch (advance refused).
+    pub unsafe_scans: CachePadded<AtomicU64>,
+    /// User objects actually freed.
+    pub objects_reclaimed: CachePadded<AtomicU64>,
+    /// Objects deferred for deletion.
+    pub objects_deferred: CachePadded<AtomicU64>,
+}
+
+/// Snapshot of [`ReclaimStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReclaimSnapshot {
+    /// Successful epoch advancements.
+    pub advances: u64,
+    /// Calls that backed out at the local election flag.
+    pub lost_local_election: u64,
+    /// Calls that won locally but lost the global election.
+    pub lost_global_election: u64,
+    /// Scans that found a lagging pinned token (advance refused).
+    pub unsafe_scans: u64,
+    /// User objects actually freed.
+    pub objects_reclaimed: u64,
+    /// Objects deferred for deletion.
+    pub objects_deferred: u64,
+}
+
+impl ReclaimStats {
+    pub(crate) fn bump(counter: &CachePadded<AtomicU64>) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &CachePadded<AtomicU64>, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Capture current values.
+    pub fn snapshot(&self) -> ReclaimSnapshot {
+        ReclaimSnapshot {
+            advances: self.advances.load(Ordering::Relaxed),
+            lost_local_election: self.lost_local_election.load(Ordering::Relaxed),
+            lost_global_election: self.lost_global_election.load(Ordering::Relaxed),
+            unsafe_scans: self.unsafe_scans.load(Ordering::Relaxed),
+            objects_reclaimed: self.objects_reclaimed.load(Ordering::Relaxed),
+            objects_deferred: self.objects_deferred.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Display for ReclaimSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "advances={} lost_local={} lost_global={} unsafe_scans={} \
+             deferred={} reclaimed={}",
+            self.advances,
+            self.lost_local_election,
+            self.lost_global_election,
+            self.unsafe_scans,
+            self.objects_deferred,
+            self.objects_reclaimed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = ReclaimStats::default();
+        ReclaimStats::bump(&s.advances);
+        ReclaimStats::add(&s.objects_reclaimed, 7);
+        let snap = s.snapshot();
+        assert_eq!(snap.advances, 1);
+        assert_eq!(snap.objects_reclaimed, 7);
+        assert_eq!(snap.lost_local_election, 0);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let s = ReclaimStats::default().snapshot();
+        assert!(!format!("{s}").contains('\n'));
+    }
+}

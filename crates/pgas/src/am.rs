@@ -1,0 +1,115 @@
+//! Active messages.
+//!
+//! Chapel's `on` statement — and, when RDMA atomics are unavailable, every
+//! remote atomic — executes as an *active message*: a closure shipped to the
+//! target locale and run by one of its progress threads. The progress
+//! thread is a real serialization point; a locale bombarded with AMs
+//! services them one at a time (per progress thread), which is why the
+//! paper's AM fallback path scales worse than NIC atomics.
+//!
+//! The virtual-time protocol: a message sent at task time `t` arrives at
+//! `t + am_wire_ns`; the handling thread starts it no earlier than both its
+//! own clock and the arrival time, charges `am_handler_ns` dispatch plus
+//! whatever the body itself charges, and the reply lands back at the sender
+//! at `end + am_wire_ns`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use crate::globalptr::LocaleId;
+use crate::runtime::RuntimeCore;
+use crate::vtime;
+
+/// A message bound for a locale's progress threads.
+pub(crate) enum AmMsg {
+    /// Execute the closure. `send_vtime` is the virtual arrival time at the
+    /// target NIC (sender clock + wire latency).
+    Call {
+        thunk: Box<dyn FnOnce() + Send + 'static>,
+        send_vtime: u64,
+    },
+    /// Terminate one progress thread (sent once per thread at shutdown).
+    Shutdown,
+}
+
+/// The body of a progress thread for locale `locale`.
+///
+/// Holds its own `Arc` to the runtime so the context pointer stays valid
+/// for the lifetime of the loop.
+pub(crate) fn progress_loop(
+    core: Arc<RuntimeCore>,
+    locale: LocaleId,
+    thread_idx: usize,
+    rx: Receiver<AmMsg>,
+) {
+    // SAFETY: `core` is kept alive by the Arc above until this function —
+    // and therefore the guard — ends.
+    let _guard = unsafe { crate::ctx::enter(Arc::as_ptr(&core), locale) };
+    let clock = &core.locale(locale).progress_clocks[thread_idx];
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            AmMsg::Shutdown => break,
+            AmMsg::Call { thunk, send_vtime } => {
+                let start = clock.now().max(send_vtime);
+                vtime::set(start + core.config.network.am_handler_ns);
+                // A panicking handler must not take the progress thread
+                // down with it; the panic is forwarded to the sender via
+                // the reply channel inside the thunk.
+                let _ = catch_unwind(AssertUnwindSafe(thunk));
+                clock.advance_to(vtime::now());
+                core.locale(locale)
+                    .stats
+                    .am_handled
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Result of a remote call: the closure's output (or its panic payload) and
+/// the virtual time at which the handler finished.
+type Reply<R> = (std::thread::Result<R>, u64);
+
+/// Execute `f` on locale `dest`, blocking until it completes, and merge its
+/// virtual time back into the caller. Must not be called when
+/// `dest == here()` — the caller handles the inline case.
+pub(crate) fn remote_call<R, F>(core: &RuntimeCore, src: LocaleId, dest: LocaleId, f: F) -> R
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    debug_assert_ne!(src, dest, "remote_call requires a remote destination");
+    let cfg = &core.config.network;
+    core.locale(src)
+        .stats
+        .am_sent
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let send_vtime = vtime::now() + cfg.am_wire_ns;
+
+    let (tx, rx): (Sender<Reply<R>>, Receiver<Reply<R>>) = bounded(1);
+    let thunk: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+        let out = catch_unwind(AssertUnwindSafe(f));
+        let end = vtime::now();
+        // The receiver may have vanished only if the sending task panicked,
+        // in which case nobody cares about the reply.
+        let _ = tx.send((out, end));
+    });
+    // SAFETY: lifetime erasure. The thunk may borrow the caller's stack,
+    // but this function blocks on `rx.recv()` until the thunk has finished
+    // executing (or is provably never going to run because the channel
+    // disconnected), so no borrow outlives this frame.
+    let thunk: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(thunk) };
+
+    core.send_am(dest, AmMsg::Call { thunk, send_vtime });
+
+    let (out, end) = rx
+        .recv()
+        .expect("progress thread terminated while a remote call was pending");
+    vtime::advance_to(end + cfg.am_wire_ns);
+    match out {
+        Ok(v) => v,
+        Err(payload) => resume_unwind(payload),
+    }
+}

@@ -1,0 +1,267 @@
+//! Communication charging: the routing rules for atomics, PUTs and GETs.
+//!
+//! This module is the simulated NIC. Given an operation and the affinity of
+//! its target, it decides which path the operation takes — CPU atomic,
+//! NIC-side (RDMA) atomic, or active message — charges the corresponding
+//! virtual-time cost, and bumps the right counters. The *memory effect* of
+//! the operation is then carried out by the caller (the simulator shares
+//! one address space, standing in for RDMA-registered memory).
+//!
+//! Routing rules (paper §II-A, §III):
+//!
+//! | op              | `network_atomics=on`      | `network_atomics=off`  |
+//! |-----------------|---------------------------|------------------------|
+//! | 64-bit, local   | NIC atomic (non-coherent!) | CPU atomic            |
+//! | 64-bit, remote  | NIC (RDMA) atomic          | active message        |
+//! | 128-bit, local  | CPU `CMPXCHG16B`           | CPU `CMPXCHG16B`      |
+//! | 128-bit, remote | active message             | active message        |
+//!
+//! The surprising top-left cell is real: Chapel's network atomics are not
+//! coherent with processor atomics, so with `CHPL_NETWORK_ATOMICS` enabled
+//! *every* atomic — even a local one — must go through the NIC, which the
+//! paper measured as up to an order of magnitude slower.
+
+use std::sync::atomic::Ordering;
+
+use crate::ctx;
+use crate::globalptr::LocaleId;
+use crate::runtime::RuntimeCore;
+use crate::vtime;
+
+/// Which execution path an atomic operation should take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicPath {
+    /// Perform the operation directly with a CPU atomic instruction.
+    CpuLocal,
+    /// Perform the operation directly; the latency of the (one-sided,
+    /// NIC-executed) RDMA atomic has already been charged.
+    Nic,
+    /// The operation must be shipped to the owner locale as an active
+    /// message (use [`RuntimeCore::on`]); costs are charged by the AM layer
+    /// and the handler body should call [`charge_handler_atomic`] /
+    /// [`charge_handler_dcas`].
+    ActiveMessage,
+}
+
+/// Route and charge a 64-bit atomic operation targeting memory owned by
+/// `owner`. Returns the path the caller must take.
+pub fn route_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
+    let here = ctx::here();
+    let net = &core.config.network;
+    if net.network_atomics {
+        // All 64-bit atomics go through the NIC, local or not.
+        core.locale(here)
+            .stats
+            .rdma_atomics
+            .fetch_add(1, Ordering::Relaxed);
+        vtime::charge(net.nic_atomic_ns);
+        AtomicPath::Nic
+    } else if owner == here {
+        core.locale(here)
+            .stats
+            .cpu_atomics
+            .fetch_add(1, Ordering::Relaxed);
+        vtime::charge(net.cpu_atomic_ns);
+        AtomicPath::CpuLocal
+    } else {
+        AtomicPath::ActiveMessage
+    }
+}
+
+/// Route and charge a 128-bit (double-word CAS) atomic operation targeting
+/// memory owned by `owner`. RDMA atomics max out at 64 bits, so the remote
+/// case is always an active message (paper §II-A).
+pub fn route_atomic_u128(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
+    let here = ctx::here();
+    if owner == here {
+        charge_handler_dcas(core);
+        AtomicPath::CpuLocal
+    } else {
+        AtomicPath::ActiveMessage
+    }
+}
+
+/// Charge the CPU cost of a 64-bit atomic performed *inside* an AM handler
+/// (the remote-execution fallback's actual memory operation).
+pub fn charge_handler_atomic(core: &RuntimeCore) {
+    let here = ctx::here();
+    core.locale(here)
+        .stats
+        .cpu_atomics
+        .fetch_add(1, Ordering::Relaxed);
+    vtime::charge(core.config.network.cpu_atomic_ns);
+}
+
+/// Charge the CPU cost of a 128-bit DCAS (locally or inside an AM handler).
+pub fn charge_handler_dcas(core: &RuntimeCore) {
+    let here = ctx::here();
+    core.locale(here)
+        .stats
+        .cpu_dcas
+        .fetch_add(1, Ordering::Relaxed);
+    vtime::charge(core.config.network.cpu_dcas_ns);
+}
+
+fn rma_cost(core: &RuntimeCore, bytes: usize) -> u64 {
+    let net = &core.config.network;
+    net.rma_ns + (bytes as u64 * net.rma_ns_per_kib) / 1024
+}
+
+/// Charge a one-sided GET of `bytes` from `owner`'s memory. No cost or
+/// count when the data is local.
+pub fn charge_get(core: &RuntimeCore, owner: LocaleId, bytes: usize) {
+    let here = ctx::here();
+    if owner == here {
+        return;
+    }
+    let stats = &core.locale(here).stats;
+    stats.gets.fetch_add(1, Ordering::Relaxed);
+    stats.bytes_got.fetch_add(bytes as u64, Ordering::Relaxed);
+    vtime::charge(rma_cost(core, bytes));
+}
+
+/// Charge a one-sided PUT of `bytes` into `owner`'s memory. No cost or
+/// count when the target is local.
+pub fn charge_put(core: &RuntimeCore, owner: LocaleId, bytes: usize) {
+    let here = ctx::here();
+    if owner == here {
+        return;
+    }
+    let stats = &core.locale(here).stats;
+    stats.puts.fetch_add(1, Ordering::Relaxed);
+    stats.bytes_put.fetch_add(bytes as u64, Ordering::Relaxed);
+    vtime::charge(rma_cost(core, bytes));
+}
+
+/// GET a `Copy` value through a global pointer, charging RMA costs.
+///
+/// # Safety
+/// The object must be alive; see [`crate::globalptr::GlobalPtr::deref`].
+pub unsafe fn get_val<T: Copy>(core: &RuntimeCore, ptr: crate::globalptr::GlobalPtr<T>) -> T {
+    charge_get(core, ptr.locale(), std::mem::size_of::<T>());
+    unsafe { *ptr.as_ptr() }
+}
+
+/// PUT a `Copy` value through a global pointer, charging RMA costs.
+///
+/// # Safety
+/// The object must be alive and no other task may be reading or writing
+/// it concurrently (one-sided PUTs have no synchronization, exactly like
+/// the real thing).
+pub unsafe fn put_val<T: Copy>(core: &RuntimeCore, ptr: crate::globalptr::GlobalPtr<T>, v: T) {
+    charge_put(core, ptr.locale(), std::mem::size_of::<T>());
+    unsafe { *ptr.as_ptr() = v };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn network_atomics_route_everything_to_nic() {
+        let rt = Runtime::cluster(2); // network_atomics = true
+        rt.run(|| {
+            assert_eq!(route_atomic_u64(&rt, 0), AtomicPath::Nic, "local → NIC");
+            assert_eq!(route_atomic_u64(&rt, 1), AtomicPath::Nic, "remote → NIC");
+            let s = rt.total_comm();
+            assert_eq!(s.rdma_atomics, 2);
+            assert_eq!(s.cpu_atomics, 0);
+        });
+    }
+
+    #[test]
+    fn no_network_atomics_splits_local_and_remote() {
+        let rt = Runtime::new(RuntimeConfig::cluster(2).without_network_atomics());
+        rt.run(|| {
+            assert_eq!(route_atomic_u64(&rt, 0), AtomicPath::CpuLocal);
+            assert_eq!(route_atomic_u64(&rt, 1), AtomicPath::ActiveMessage);
+            let s = rt.total_comm();
+            assert_eq!(s.cpu_atomics, 1);
+            assert_eq!(s.rdma_atomics, 0);
+        });
+    }
+
+    #[test]
+    fn dcas_never_uses_nic() {
+        let rt = Runtime::cluster(2); // network atomics on
+        rt.run(|| {
+            assert_eq!(route_atomic_u128(&rt, 0), AtomicPath::CpuLocal);
+            assert_eq!(route_atomic_u128(&rt, 1), AtomicPath::ActiveMessage);
+            let s = rt.total_comm();
+            assert_eq!(s.rdma_atomics, 0);
+            assert_eq!(s.cpu_dcas, 1);
+        });
+    }
+
+    #[test]
+    fn nic_atomic_charges_latency() {
+        let rt = Runtime::cluster(1);
+        let ((), span) = rt.run_measured(|| {
+            route_atomic_u64(&rt, 0);
+        });
+        assert_eq!(span, rt.config.network.nic_atomic_ns);
+    }
+
+    #[test]
+    fn local_get_put_are_free() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            charge_get(&rt, 0, 1024);
+            charge_put(&rt, 0, 1024);
+            let s = rt.total_comm();
+            assert_eq!(s.gets + s.puts, 0);
+        });
+    }
+
+    #[test]
+    fn remote_get_put_charge_and_count() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            charge_get(&rt, 1, 2048);
+            charge_put(&rt, 1, 100);
+            let s = rt.total_comm();
+            assert_eq!(s.gets, 1);
+            assert_eq!(s.puts, 1);
+            assert_eq!(s.bytes_got, 2048);
+            assert_eq!(s.bytes_put, 100);
+        });
+    }
+
+    #[test]
+    fn rma_cost_includes_bandwidth_term() {
+        let rt = Runtime::cluster(2);
+        let net = rt.config.network.clone();
+        let ((), span) = rt.run_measured(|| {
+            charge_get(&rt, 1, 4096);
+        });
+        assert_eq!(span, net.rma_ns + 4096 * net.rma_ns_per_kib / 1024);
+    }
+
+    #[test]
+    fn put_val_writes_through_pointer() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            let b = Box::into_raw(Box::new(0u64));
+            let p = crate::globalptr::GlobalPtr::from_raw_parts(1, b);
+            unsafe { put_val(&rt, p, 55) };
+            assert_eq!(unsafe { *b }, 55);
+            assert_eq!(rt.total_comm().puts, 1);
+            unsafe { drop(Box::from_raw(b)) };
+        });
+    }
+
+    #[test]
+    fn get_val_reads_through_pointer() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            let b = Box::into_raw(Box::new(123u64));
+            let p = crate::globalptr::GlobalPtr::from_raw_parts(1, b);
+            let v = unsafe { get_val(&rt, p) };
+            assert_eq!(v, 123);
+            assert_eq!(rt.total_comm().gets, 1);
+            unsafe { drop(Box::from_raw(b)) };
+        });
+    }
+}

@@ -1,0 +1,123 @@
+//! Ambient locale context.
+//!
+//! Chapel code always executes "somewhere": the `here` locale. The
+//! simulator reproduces that with a thread-local context naming the runtime
+//! and the locale the current task belongs to. Worker tasks created by
+//! `coforall`/`forall`, progress threads, and the thread inside
+//! [`crate::Runtime::run`] all carry a context; calling a communication
+//! primitive without one is a programming error and panics.
+//!
+//! # Safety of the raw pointer
+//! The context stores a raw `*const RuntimeCore` rather than an `Arc` so
+//! that scoped worker threads can borrow the runtime. The pointer is valid
+//! for the lifetime of the context guard because every holder either (a)
+//! borrows the runtime across a scope that joins before returning (workers,
+//! `run`), or (b) owns an `Arc` for the duration of the thread (progress
+//! threads).
+
+use std::cell::Cell;
+
+use crate::globalptr::LocaleId;
+use crate::runtime::RuntimeCore;
+
+thread_local! {
+    static CTX: Cell<Option<(*const RuntimeCore, LocaleId)>> = const { Cell::new(None) };
+}
+
+/// Restores the previous context when dropped, so nested `run`/handler
+/// execution unwinds correctly.
+pub(crate) struct CtxGuard {
+    prev: Option<(*const RuntimeCore, LocaleId)>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Install `(core, locale)` as the current context.
+///
+/// # Safety
+/// `core` must remain valid until the returned guard is dropped.
+pub(crate) unsafe fn enter(core: *const RuntimeCore, locale: LocaleId) -> CtxGuard {
+    let prev = CTX.with(|c| c.replace(Some((core, locale))));
+    CtxGuard { prev }
+}
+
+/// The locale the current task is executing on (Chapel's `here.id`).
+///
+/// # Panics
+/// If the current thread is not executing inside a runtime task.
+#[inline]
+pub fn here() -> LocaleId {
+    try_here().expect(
+        "no PGAS context on this thread; wrap the code in Runtime::run, a \
+         coforall/forall body, or an `on` statement",
+    )
+}
+
+/// Like [`here`], but returns `None` off-runtime instead of panicking.
+#[inline]
+pub fn try_here() -> Option<LocaleId> {
+    CTX.with(|c| c.get().map(|(_, l)| l))
+}
+
+/// Run `f` with a reference to the current runtime core and the current
+/// locale id. This is how embedded objects (atomics, tokens) reach the
+/// runtime without storing a handle per instance.
+///
+/// # Panics
+/// If the current thread has no PGAS context.
+#[inline]
+pub fn with_core<R>(f: impl FnOnce(&RuntimeCore, LocaleId) -> R) -> R {
+    let (core, locale) = CTX.with(|c| c.get()).expect(
+        "no PGAS context on this thread; wrap the code in Runtime::run, a \
+         coforall/forall body, or an `on` statement",
+    );
+    // SAFETY: documented invariant — whoever installed the context keeps
+    // the core alive until the guard drops, and we are inside that window.
+    f(unsafe { &*core }, locale)
+}
+
+/// A cloneable handle to the current runtime, usable to construct objects
+/// that must outlive the current task.
+///
+/// # Panics
+/// If the current thread has no PGAS context.
+pub fn current_runtime() -> crate::runtime::RuntimeHandle {
+    with_core(|core, _| core.handle())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ctx_by_default() {
+        assert_eq!(try_here(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no PGAS context")]
+    fn here_panics_without_ctx() {
+        let _ = here();
+    }
+
+    #[test]
+    fn guard_restores_previous() {
+        // A dangling-but-never-dereferenced pointer is fine for this test:
+        // we only exercise the save/restore logic via try_here().
+        let fake = 0x1000 as *const RuntimeCore;
+        {
+            let _g1 = unsafe { enter(fake, 3) };
+            assert_eq!(try_here(), Some(3));
+            {
+                let _g2 = unsafe { enter(fake, 7) };
+                assert_eq!(try_here(), Some(7));
+            }
+            assert_eq!(try_here(), Some(3));
+        }
+        assert_eq!(try_here(), None);
+    }
+}

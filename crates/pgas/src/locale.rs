@@ -1,0 +1,66 @@
+//! Per-locale state: AM queue, statistics, heap accounting, progress-thread
+//! clocks.
+
+use crossbeam_channel::Sender;
+
+use crate::am::AmMsg;
+use crate::globalptr::LocaleId;
+use crate::stats::{CommStats, HeapStats};
+use crate::vtime::VClock;
+
+/// One simulated compute node.
+pub struct Locale {
+    /// This locale's id (its index in the runtime's locale table).
+    pub id: LocaleId,
+    /// Communication counters for operations *initiated by or handled on*
+    /// this locale.
+    pub stats: CommStats,
+    /// Allocation accounting for objects whose affinity is this locale.
+    pub heap: HeapStats,
+    /// Virtual clocks of this locale's progress threads (one per thread;
+    /// they model the serialization of active-message handling).
+    pub(crate) progress_clocks: Box<[VClock]>,
+    /// Submission side of the AM queue; all progress threads share it.
+    pub(crate) am_tx: Sender<AmMsg>,
+}
+
+impl Locale {
+    pub(crate) fn new(id: LocaleId, progress_threads: usize, am_tx: Sender<AmMsg>) -> Self {
+        Locale {
+            id,
+            stats: CommStats::default(),
+            heap: HeapStats::default(),
+            progress_clocks: (0..progress_threads).map(|_| VClock::new()).collect(),
+            am_tx,
+        }
+    }
+
+    /// The furthest-ahead progress-thread clock — i.e. when this locale's
+    /// AM service would next be free in the busiest lane.
+    pub fn progress_vtime(&self) -> u64 {
+        self.progress_clocks
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Reset this locale's virtual clocks and counters. Callers must ensure
+    /// no operations are in flight.
+    pub fn reset_metrics(&self) {
+        self.stats.reset();
+        for c in self.progress_clocks.iter() {
+            c.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for Locale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Locale")
+            .field("id", &self.id)
+            .field("progress_threads", &self.progress_clocks.len())
+            .field("live_objects", &self.heap.live_objects())
+            .finish()
+    }
+}

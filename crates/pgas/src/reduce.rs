@@ -1,0 +1,187 @@
+//! Cross-locale reductions — Chapel's `with (&& reduce safeToReclaim)`
+//! and friends (Listing 4 uses an `&&` reduction over the token scan).
+//!
+//! [`reduce_locales`] runs one task per locale, evaluates a contribution
+//! there, and folds the results with an associative operator, merging
+//! virtual time like any `coforall`. Boolean short-circuit helpers
+//! ([`all_locales`], [`any_locales`]) additionally publish an early-exit
+//! flag so remaining locales can skip their scan — mirroring the `break`
+//! in Listing 4's scan loop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::globalptr::LocaleId;
+use crate::runtime::RuntimeCore;
+
+/// Fold `contrib(locale)` across all locales with the associative,
+/// commutative operator `op`. Returns `None` for a runtime with zero
+/// locales (impossible by construction, so in practice always `Some`).
+pub fn reduce_locales<T, C, O>(core: &RuntimeCore, contrib: C, op: O) -> Option<T>
+where
+    T: Send,
+    C: Fn(LocaleId) -> T + Send + Sync,
+    O: Fn(T, T) -> T + Send + Sync,
+{
+    let acc: Mutex<Option<T>> = Mutex::new(None);
+    core.coforall_locales(|l| {
+        let v = contrib(l);
+        let mut guard = acc.lock();
+        let cur = guard.take();
+        *guard = Some(match cur {
+            None => v,
+            Some(a) => op(a, v),
+        });
+    });
+    acc.into_inner()
+}
+
+/// Sum a numeric contribution over all locales.
+pub fn sum_locales<C>(core: &RuntimeCore, contrib: C) -> u64
+where
+    C: Fn(LocaleId) -> u64 + Send + Sync,
+{
+    reduce_locales(core, contrib, |a, b| a + b).unwrap_or(0)
+}
+
+/// Minimum over locales.
+pub fn min_locales<C>(core: &RuntimeCore, contrib: C) -> u64
+where
+    C: Fn(LocaleId) -> u64 + Send + Sync,
+{
+    reduce_locales(core, contrib, std::cmp::min).unwrap_or(u64::MAX)
+}
+
+/// Maximum over locales.
+pub fn max_locales<C>(core: &RuntimeCore, contrib: C) -> u64
+where
+    C: Fn(LocaleId) -> u64 + Send + Sync,
+{
+    reduce_locales(core, contrib, std::cmp::max).unwrap_or(0)
+}
+
+/// `&&` reduction with early exit: the predicate receives a `cancelled`
+/// flag it may poll to cut its local work short once some locale has
+/// already voted `false` (the Listing 4 scan pattern).
+pub fn all_locales<P>(core: &RuntimeCore, pred: P) -> bool
+where
+    P: Fn(LocaleId, &AtomicBool) -> bool + Send + Sync,
+{
+    let failed = AtomicBool::new(false);
+    core.coforall_locales(|l| {
+        if failed.load(Ordering::Relaxed) {
+            return;
+        }
+        if !pred(l, &failed) {
+            failed.store(true, Ordering::Relaxed);
+        }
+    });
+    !failed.load(Ordering::Relaxed)
+}
+
+/// `||` reduction with early exit.
+pub fn any_locales<P>(core: &RuntimeCore, pred: P) -> bool
+where
+    P: Fn(LocaleId, &AtomicBool) -> bool + Send + Sync,
+{
+    let found = AtomicBool::new(false);
+    core.coforall_locales(|l| {
+        if found.load(Ordering::Relaxed) {
+            return;
+        }
+        if pred(l, &found) {
+            found.store(true, Ordering::Relaxed);
+        }
+    });
+    found.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use crate::runtime::Runtime;
+    use std::sync::atomic::AtomicUsize;
+
+    fn zrt(n: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::zero_latency(n))
+    }
+
+    #[test]
+    fn sum_over_locales() {
+        let rt = zrt(4);
+        rt.run(|| {
+            assert_eq!(sum_locales(&rt, |l| l as u64), 6);
+        });
+    }
+
+    #[test]
+    fn min_max_over_locales() {
+        let rt = zrt(5);
+        rt.run(|| {
+            assert_eq!(min_locales(&rt, |l| 100 - l as u64), 96);
+            assert_eq!(max_locales(&rt, |l| 100 - l as u64), 100);
+        });
+    }
+
+    #[test]
+    fn generic_reduce_with_custom_type() {
+        let rt = zrt(3);
+        rt.run(|| {
+            let concat = reduce_locales(
+                &rt,
+                |l| vec![l],
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+            .unwrap();
+            let mut sorted = concat.clone();
+            sorted.sort();
+            assert_eq!(sorted, vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn all_true_when_every_locale_agrees() {
+        let rt = zrt(4);
+        rt.run(|| {
+            assert!(all_locales(&rt, |_, _| true));
+            assert!(!all_locales(&rt, |l, _| l != 2));
+        });
+    }
+
+    #[test]
+    fn any_detects_single_true() {
+        let rt = zrt(4);
+        rt.run(|| {
+            assert!(any_locales(&rt, |l, _| l == 3));
+            assert!(!any_locales(&rt, |_, _| false));
+        });
+    }
+
+    #[test]
+    fn contributions_run_on_their_locale() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let visited = AtomicUsize::new(0);
+            let ok = all_locales(&rt, |l, _| {
+                visited.fetch_add(1, Ordering::Relaxed);
+                crate::ctx::here() == l
+            });
+            assert!(ok);
+            assert_eq!(visited.load(Ordering::Relaxed), 4);
+        });
+    }
+
+    #[test]
+    fn single_locale_reduce() {
+        let rt = zrt(1);
+        rt.run(|| {
+            assert_eq!(sum_locales(&rt, |_| 7), 7);
+            assert!(all_locales(&rt, |_, _| true));
+        });
+    }
+}

@@ -1,0 +1,666 @@
+//! The multi-locale runtime.
+//!
+//! A [`Runtime`] owns a set of simulated locales (each with progress
+//! threads servicing active messages) and provides the Chapel-style
+//! execution constructs the paper's code uses:
+//!
+//! * [`RuntimeCore::run`] — enter the runtime on locale 0 (the `main`).
+//! * [`RuntimeCore::on`] — Chapel's `on Locales[i] do { ... }`: execute a
+//!   closure on another locale and block for its result.
+//! * [`RuntimeCore::coforall_locales`] — `coforall loc in Locales do on loc`.
+//! * [`RuntimeCore::coforall_tasks`] — `coforall t in 0..#T` on the current
+//!   locale.
+//! * [`RuntimeCore::forall_dist`] — a distributed `forall` over a cyclically
+//!   distributed index space, with a task-private value per task (Chapel's
+//!   `with (var tok = ...)` intent).
+//!
+//! All constructs merge virtual time the way a discrete-event simulation
+//! would (see [`crate::vtime`]), so a phase's virtual makespan is simply
+//! the caller's clock delta.
+
+use std::ops::Deref;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use crossbeam_channel::unbounded;
+
+use crate::am::{self, AmMsg};
+use crate::config::RuntimeConfig;
+use crate::ctx;
+use crate::globalptr::LocaleId;
+use crate::locale::Locale;
+use crate::stats::CommSnapshot;
+use crate::vtime;
+
+/// A `Send`-able wrapper for the runtime pointer handed to scoped worker
+/// threads. Safe because the scope joins before the runtime can move.
+#[derive(Clone, Copy)]
+struct CorePtr(*const RuntimeCore);
+unsafe impl Send for CorePtr {}
+unsafe impl Sync for CorePtr {}
+
+impl CorePtr {
+    // Accessor (rather than field access) so that closures capture the
+    // whole `Send` wrapper, not the raw pointer field (edition-2021
+    // disjoint capture would otherwise grab the non-Send field).
+    fn get(self) -> *const RuntimeCore {
+        self.0
+    }
+}
+
+/// Shared runtime state. Public operations live here so that both the
+/// owning [`Runtime`] and cheap [`RuntimeHandle`] clones expose them.
+pub struct RuntimeCore {
+    /// The configuration the runtime was started with.
+    pub config: RuntimeConfig,
+    locales: Box<[Locale]>,
+    shutdown: AtomicBool,
+    self_weak: Weak<RuntimeCore>,
+}
+
+/// Owning handle: joins progress threads when dropped. Not `Clone`; use
+/// [`Runtime::handle`] (or [`ctx::current_runtime`]) for shareable handles.
+pub struct Runtime {
+    core: Arc<RuntimeCore>,
+    progress: Vec<JoinHandle<()>>,
+}
+
+/// A cheap, cloneable reference to a running [`Runtime`]. Operations panic
+/// if used after the owning `Runtime` has shut down.
+#[derive(Clone)]
+pub struct RuntimeHandle {
+    core: Arc<RuntimeCore>,
+}
+
+impl Deref for Runtime {
+    type Target = RuntimeCore;
+    fn deref(&self) -> &RuntimeCore {
+        &self.core
+    }
+}
+
+impl Deref for RuntimeHandle {
+    type Target = RuntimeCore;
+    fn deref(&self) -> &RuntimeCore {
+        &self.core
+    }
+}
+
+impl Runtime {
+    /// Start a runtime with `config.num_locales` simulated locales.
+    pub fn new(config: RuntimeConfig) -> Runtime {
+        config.validate();
+        let mut receivers = Vec::with_capacity(config.num_locales);
+        let core = Arc::new_cyclic(|self_weak| {
+            let locales = (0..config.num_locales)
+                .map(|id| {
+                    let (tx, rx) = unbounded();
+                    receivers.push(rx);
+                    Locale::new(id as LocaleId, config.progress_threads, tx)
+                })
+                .collect();
+            RuntimeCore {
+                config,
+                locales,
+                shutdown: AtomicBool::new(false),
+                self_weak: self_weak.clone(),
+            }
+        });
+        let mut progress = Vec::new();
+        for (id, rx) in receivers.into_iter().enumerate() {
+            for t in 0..core.config.progress_threads {
+                let core = Arc::clone(&core);
+                let rx = rx.clone();
+                progress.push(
+                    std::thread::Builder::new()
+                        .name(format!("pgas-progress-{id}.{t}"))
+                        .spawn(move || am::progress_loop(core, id as LocaleId, t, rx))
+                        .expect("failed to spawn progress thread"),
+                );
+            }
+        }
+        Runtime { core, progress }
+    }
+
+    /// Convenience: an `n`-locale cluster with the default network model.
+    pub fn cluster(n: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::cluster(n))
+    }
+
+    /// Convenience: a single-locale shared-memory runtime.
+    pub fn shared_memory() -> Runtime {
+        Runtime::new(RuntimeConfig::shared_memory())
+    }
+
+    /// A cloneable handle that can be stored inside long-lived objects.
+    pub fn handle(&self) -> RuntimeHandle {
+        RuntimeHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        for locale in self.core.locales.iter() {
+            for _ in 0..self.core.config.progress_threads {
+                // Progress threads exit on Shutdown; if one already died the
+                // channel may be disconnected, which is fine.
+                let _ = locale.am_tx.send(AmMsg::Shutdown);
+            }
+        }
+        for handle in self.progress.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl RuntimeCore {
+    /// Number of locales in this runtime.
+    #[inline]
+    pub fn num_locales(&self) -> usize {
+        self.locales.len()
+    }
+
+    /// Access one locale's state (stats, heap accounting).
+    #[inline]
+    pub fn locale(&self, id: LocaleId) -> &Locale {
+        &self.locales[id as usize]
+    }
+
+    /// Iterate over all locales.
+    pub fn locales(&self) -> impl Iterator<Item = &Locale> {
+        self.locales.iter()
+    }
+
+    /// A cloneable handle to this runtime.
+    ///
+    /// # Panics
+    /// If the owning [`Runtime`] has already been dropped.
+    pub fn handle(&self) -> RuntimeHandle {
+        RuntimeHandle {
+            core: self.self_weak.upgrade().expect("runtime already shut down"),
+        }
+    }
+
+    pub(crate) fn send_am(&self, dest: LocaleId, msg: AmMsg) {
+        assert!(
+            !self.shutdown.load(Ordering::Relaxed),
+            "runtime has shut down"
+        );
+        self.locales[dest as usize]
+            .am_tx
+            .send(msg)
+            .expect("active-message queue closed");
+    }
+
+    /// Enter the runtime on locale 0 and execute `f` on the calling thread.
+    /// This is the moral equivalent of Chapel's `main`. The task-local
+    /// virtual clock starts at zero when entering from outside.
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        let fresh = ctx::try_here().is_none();
+        // SAFETY: `self` is borrowed for the duration of the call and the
+        // guard is dropped before it returns.
+        let _g = unsafe { ctx::enter(self as *const RuntimeCore, 0) };
+        if fresh {
+            vtime::set(0);
+        }
+        f()
+    }
+
+    /// Enter the runtime on locale 0, reset virtual time, execute `f`, and
+    /// return `(result, virtual_makespan_ns)`.
+    pub fn run_measured<R>(&self, f: impl FnOnce() -> R) -> (R, u64) {
+        self.run(|| {
+            vtime::set(0);
+            let r = f();
+            (r, vtime::now())
+        })
+    }
+
+    /// Chapel's `on Locales[dest] do f()`: execute `f` on locale `dest`,
+    /// blocking until it finishes. Runs inline (zero communication) when
+    /// the caller is already on `dest`; otherwise ships an active message,
+    /// whose handling serializes on the target's progress threads.
+    pub fn on<R, F>(&self, dest: LocaleId, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        let src = ctx::here();
+        assert!(
+            (dest as usize) < self.locales.len(),
+            "locale {dest} out of range (runtime has {} locales)",
+            self.locales.len()
+        );
+        if src == dest {
+            return f();
+        }
+        am::remote_call(self, src, dest, f)
+    }
+
+    /// `coforall loc in Locales do on loc { f(loc) }`: run `f` once per
+    /// locale, concurrently, and join. The caller's virtual clock advances
+    /// to the slowest child (plus wire latency for remote children).
+    pub fn coforall_locales<F>(&self, f: F)
+    where
+        F: Fn(LocaleId) + Send + Sync,
+    {
+        let src = ctx::here();
+        let parent_vt = vtime::now();
+        let wire = self.config.network.am_wire_ns;
+        let self_ptr = CorePtr(self as *const RuntimeCore);
+        let mut max_end = parent_vt;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.locales.len() as LocaleId)
+                .map(|l| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        // SAFETY: the scope joins before `self` can move.
+                        let _g = unsafe { ctx::enter(self_ptr.get(), l) };
+                        vtime::set(if l == src {
+                            parent_vt
+                        } else {
+                            parent_vt + wire
+                        });
+                        f(l);
+                        vtime::now() + if l == src { 0 } else { wire }
+                    })
+                })
+                .collect();
+            let mut panic = None;
+            for (l, h) in handles.into_iter().enumerate() {
+                if l as LocaleId != src {
+                    self.locales[src as usize]
+                        .stats
+                        .am_sent
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                match h.join() {
+                    Ok(end) => max_end = max_end.max(end),
+                    Err(p) => panic = Some(p),
+                }
+            }
+            if let Some(p) = panic {
+                resume_unwind(p);
+            }
+        });
+        vtime::advance_to(max_end);
+    }
+
+    /// `coforall t in 0..#tasks`: run `tasks` concurrent tasks on the
+    /// *current* locale and join, merging virtual time.
+    pub fn coforall_tasks<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        let here = ctx::here();
+        let parent_vt = vtime::now();
+        let self_ptr = CorePtr(self as *const RuntimeCore);
+        let mut max_end = parent_vt;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..tasks)
+                .map(|t| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        // SAFETY: the scope joins before `self` can move.
+                        let _g = unsafe { ctx::enter(self_ptr.get(), here) };
+                        vtime::set(parent_vt);
+                        f(t);
+                        vtime::now()
+                    })
+                })
+                .collect();
+            let mut panic = None;
+            for h in handles {
+                match h.join() {
+                    Ok(end) => max_end = max_end.max(end),
+                    Err(p) => panic = Some(p),
+                }
+            }
+            if let Some(p) = panic {
+                resume_unwind(p);
+            }
+        });
+        vtime::advance_to(max_end);
+    }
+
+    /// A distributed `forall i in 0..#n` over a cyclically distributed
+    /// index space: index `i` has affinity to locale `i % num_locales`, and
+    /// each locale runs `config.tasks_per_locale` worker tasks.
+    ///
+    /// `init(locale, task)` produces each task's private state — the
+    /// equivalent of Chapel's `with (var tok = manager.register())` — and
+    /// `body(&mut state, i)` runs for every index. Task-private state is
+    /// dropped (e.g. tokens unregister) when the task finishes.
+    pub fn forall_dist<T, I, F>(&self, n: usize, init: I, body: F)
+    where
+        T: Send,
+        I: Fn(LocaleId, usize) -> T + Send + Sync,
+        F: Fn(&mut T, usize) + Send + Sync,
+    {
+        self.forall_dist_tasks(n, self.config.tasks_per_locale, init, body)
+    }
+
+    /// [`Self::forall_dist`] with an explicit per-locale task count.
+    pub fn forall_dist_tasks<T, I, F>(&self, n: usize, tasks: usize, init: I, body: F)
+    where
+        T: Send,
+        I: Fn(LocaleId, usize) -> T + Send + Sync,
+        F: Fn(&mut T, usize) + Send + Sync,
+    {
+        assert!(tasks >= 1, "need at least one task per locale");
+        let num_locales = self.locales.len();
+        let src = ctx::here();
+        let parent_vt = vtime::now();
+        let wire = self.config.network.am_wire_ns;
+        let self_ptr = CorePtr(self as *const RuntimeCore);
+        let mut max_end = parent_vt;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_locales * tasks);
+            for l in 0..num_locales as LocaleId {
+                for t in 0..tasks {
+                    let init = &init;
+                    let body = &body;
+                    handles.push(scope.spawn(move || {
+                        // SAFETY: the scope joins before `self` can move.
+                        let _g = unsafe { ctx::enter(self_ptr.get(), l) };
+                        vtime::set(if l == src {
+                            parent_vt
+                        } else {
+                            parent_vt + wire
+                        });
+                        let mut state = init(l, t);
+                        // Cyclic distribution: locale l owns indices
+                        // l, l+L, l+2L, ...; its j-th local index is
+                        // i = l + j*L, and task t handles j ≡ t (mod tasks).
+                        let mut j = t;
+                        loop {
+                            let i = l as usize + j * num_locales;
+                            if i >= n {
+                                break;
+                            }
+                            body(&mut state, i);
+                            j += tasks;
+                        }
+                        drop(state);
+                        vtime::now() + if l == src { 0 } else { wire }
+                    }));
+                }
+            }
+            let mut panic = None;
+            for h in handles {
+                match h.join() {
+                    Ok(end) => max_end = max_end.max(end),
+                    Err(p) => panic = Some(p),
+                }
+            }
+            if let Some(p) = panic {
+                resume_unwind(p);
+            }
+        });
+        let remote_spawns = (num_locales.saturating_sub(1)) * tasks;
+        self.locales[src as usize]
+            .stats
+            .am_sent
+            .fetch_add(remote_spawns as u64, Ordering::Relaxed);
+        vtime::advance_to(max_end);
+    }
+
+    /// Sum of all locales' communication counters.
+    pub fn total_comm(&self) -> CommSnapshot {
+        self.locales
+            .iter()
+            .map(|l| l.stats.snapshot())
+            .fold(CommSnapshot::default(), |a, b| a + b)
+    }
+
+    /// Total live tracked objects across all locales (should be zero after
+    /// full reclamation).
+    pub fn live_objects(&self) -> i64 {
+        self.locales.iter().map(|l| l.heap.live_objects()).sum()
+    }
+
+    /// Reset all locales' counters and progress clocks. Callers must ensure
+    /// quiescence (no tasks or in-flight messages).
+    pub fn reset_metrics(&self) {
+        for l in self.locales.iter() {
+            l.reset_metrics();
+        }
+    }
+}
+
+impl std::fmt::Debug for RuntimeCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("num_locales", &self.locales.len())
+            .field("network_atomics", &self.config.network.network_atomics)
+            .field("pointer_mode", &self.config.pointer_mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_enters_locale_zero() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            assert_eq!(ctx::here(), 0);
+        });
+        assert_eq!(ctx::try_here(), None);
+    }
+
+    #[test]
+    fn on_local_is_inline_and_free() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            let before = rt.total_comm();
+            let x = rt.on(0, || 41 + 1);
+            assert_eq!(x, 42);
+            let delta = rt.total_comm() - before;
+            assert_eq!(delta.am_sent, 0, "local `on` must not communicate");
+        });
+    }
+
+    #[test]
+    fn on_remote_executes_there() {
+        let rt = Runtime::cluster(3);
+        rt.run(|| {
+            let l = rt.on(2, ctx::here);
+            assert_eq!(l, 2);
+            let delta = rt.total_comm();
+            assert_eq!(delta.am_sent, 1);
+            assert_eq!(delta.am_handled, 1);
+        });
+    }
+
+    #[test]
+    fn on_remote_borrows_caller_stack() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            let data = [1u64, 2, 3];
+            let sum = rt.on(1, || data.iter().sum::<u64>());
+            assert_eq!(sum, 6);
+            // `data` still usable: it was only borrowed.
+            assert_eq!(data.len(), 3);
+        });
+    }
+
+    #[test]
+    fn on_remote_charges_round_trip_vtime() {
+        let rt = Runtime::cluster(2);
+        let ((), span) = rt.run_measured(|| {
+            rt.on(1, || ());
+        });
+        let net = &rt.config.network;
+        assert_eq!(span, 2 * net.am_wire_ns + net.am_handler_ns);
+    }
+
+    #[test]
+    fn nested_on_round_trips() {
+        let rt = Runtime::cluster(3);
+        rt.run(|| {
+            let v = rt.on(1, || rt.on(2, || ctx::here() as u64 * 10));
+            assert_eq!(v, 20);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn remote_panic_propagates() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            rt.on(1, || panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn progress_thread_survives_handler_panic() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rt.on(1, || panic!("first"));
+            }));
+            assert!(r.is_err());
+            // The progress thread must still service new messages.
+            assert_eq!(rt.on(1, || 7), 7);
+        });
+    }
+
+    #[test]
+    fn coforall_locales_visits_every_locale_once() {
+        let rt = Runtime::cluster(4);
+        let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        rt.run(|| {
+            rt.coforall_locales(|l| {
+                assert_eq!(ctx::here(), l);
+                counts[l as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn coforall_tasks_runs_all_on_current_locale() {
+        let rt = Runtime::cluster(2);
+        let count = AtomicUsize::new(0);
+        rt.run(|| {
+            rt.coforall_tasks(8, |_| {
+                assert_eq!(ctx::here(), 0);
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn coforall_vtime_is_max_not_sum() {
+        let rt = Runtime::new(RuntimeConfig::zero_latency(1));
+        let ((), span) = rt.run_measured(|| {
+            rt.coforall_tasks(4, |t| {
+                vtime::charge((t as u64 + 1) * 100);
+            });
+        });
+        assert_eq!(span, 400, "parallel tasks overlap in virtual time");
+    }
+
+    #[test]
+    fn forall_dist_covers_index_space_exactly_once() {
+        let rt = Runtime::new(RuntimeConfig::zero_latency(3));
+        let n = 100;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        rt.run(|| {
+            rt.forall_dist_tasks(
+                n,
+                2,
+                |_, _| (),
+                |_, i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                    // Cyclic distribution: affinity locale is i % L.
+                    assert_eq!(ctx::here() as usize, i % 3);
+                },
+            );
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} visited once");
+        }
+    }
+
+    #[test]
+    fn forall_dist_task_private_state_dropped() {
+        struct Probe<'a>(&'a AtomicUsize);
+        impl Drop for Probe<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let rt = Runtime::new(RuntimeConfig::zero_latency(2));
+        let drops = AtomicUsize::new(0);
+        rt.run(|| {
+            rt.forall_dist_tasks(10, 3, |_, _| Probe(&drops), |_, _| ());
+        });
+        assert_eq!(drops.load(Ordering::Relaxed), 2 * 3);
+    }
+
+    #[test]
+    fn forall_dist_with_zero_indices_still_inits_tasks() {
+        let rt = Runtime::new(RuntimeConfig::zero_latency(2));
+        let inits = AtomicUsize::new(0);
+        rt.run(|| {
+            rt.forall_dist_tasks(
+                0,
+                2,
+                |_, _| {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |_, _| unreachable!("no indices to visit"),
+            );
+        });
+        assert_eq!(inits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn handle_usable_from_ctx() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            let h = ctx::current_runtime();
+            assert_eq!(h.num_locales(), 2);
+        });
+    }
+
+    #[test]
+    fn run_measured_reports_zero_for_empty_body() {
+        let rt = Runtime::new(RuntimeConfig::zero_latency(1));
+        let ((), span) = rt.run_measured(|| {});
+        assert_eq!(span, 0);
+    }
+
+    #[test]
+    fn reset_metrics_clears_counters() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            rt.on(1, || ());
+        });
+        assert!(rt.total_comm().am_sent > 0);
+        rt.reset_metrics();
+        assert!(rt.total_comm().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn on_out_of_range_locale_panics() {
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            rt.on(5, || ());
+        });
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-locale communication and heap statistics.
+//!
+//! Every simulated communication primitive increments a counter here, so
+//! tests can assert *exact* communication behaviour (e.g. "privatized access
+//! performs zero communication", "the scatter list issues one bulk free per
+//! locale") independently of the latency model.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+macro_rules! counters {
+    ($($(#[$m:meta])* $name:ident),+ $(,)?) => {
+        /// Live, concurrently-updated communication counters for one locale.
+        #[derive(Debug, Default)]
+        pub struct CommStats {
+            $($(#[$m])* pub $name: CachePadded<AtomicU64>,)+
+        }
+
+        /// A plain-old-data snapshot of [`CommStats`], subtractable to
+        /// measure deltas across a benchmark phase.
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct CommSnapshot {
+            $($(#[$m])* pub $name: u64,)+
+        }
+
+        impl CommStats {
+            /// Capture the current counter values.
+            pub fn snapshot(&self) -> CommSnapshot {
+                CommSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Zero all counters. Callers must ensure quiescence.
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl std::ops::Sub for CommSnapshot {
+            type Output = CommSnapshot;
+            fn sub(self, rhs: CommSnapshot) -> CommSnapshot {
+                CommSnapshot {
+                    $($name: self.$name.wrapping_sub(rhs.$name),)+
+                }
+            }
+        }
+
+        impl std::ops::Add for CommSnapshot {
+            type Output = CommSnapshot;
+            fn add(self, rhs: CommSnapshot) -> CommSnapshot {
+                CommSnapshot {
+                    $($name: self.$name.wrapping_add(rhs.$name),)+
+                }
+            }
+        }
+
+        impl fmt::Display for CommSnapshot {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                $(writeln!(f, "{:>24}: {}", stringify!($name), self.$name)?;)+
+                Ok(())
+            }
+        }
+    };
+}
+
+counters! {
+    /// 64-bit atomics executed on the (simulated) NIC — RDMA atomics.
+    rdma_atomics,
+    /// Atomics executed by the local CPU (network atomics disabled, local
+    /// target).
+    cpu_atomics,
+    /// 128-bit double-word CAS operations executed by the local CPU.
+    cpu_dcas,
+    /// Active messages *sent* from this locale.
+    am_sent,
+    /// Active messages *handled* by this locale's progress threads.
+    am_handled,
+    /// One-sided PUT operations issued from this locale.
+    puts,
+    /// One-sided GET operations issued from this locale.
+    gets,
+    /// Bytes moved by PUTs.
+    bytes_put,
+    /// Bytes moved by GETs.
+    bytes_got,
+    /// Objects allocated on this locale at a remote task's request.
+    remote_allocs,
+    /// Objects freed individually via a remote free request.
+    remote_frees,
+    /// Bulk-free active messages handled by this locale (scatter-list
+    /// path); each covers many objects.
+    bulk_frees,
+    /// Objects released through bulk frees.
+    bulk_freed_objects,
+}
+
+impl CommSnapshot {
+    /// Total communication *events* that crossed the network (excludes
+    /// CPU-local atomics).
+    pub fn network_events(&self) -> u64 {
+        self.rdma_atomics + self.am_sent + self.puts + self.gets
+    }
+
+    /// True when no counter is set — i.e. a phase performed zero
+    /// communication and zero tracked local atomics.
+    pub fn is_zero(&self) -> bool {
+        *self == CommSnapshot::default()
+    }
+}
+
+/// Heap accounting for one locale. `live` can be asserted to reach zero at
+/// the end of a test to prove reclamation completeness.
+#[derive(Debug, Default)]
+pub struct HeapStats {
+    /// Objects currently allocated on this locale.
+    pub live: CachePadded<AtomicI64>,
+    /// Total objects ever allocated on this locale.
+    pub total_allocs: CachePadded<AtomicU64>,
+    /// Total objects ever freed on this locale.
+    pub total_frees: CachePadded<AtomicU64>,
+}
+
+impl HeapStats {
+    pub(crate) fn on_alloc(&self) {
+        self.live.fetch_add(1, Ordering::Relaxed);
+        self.total_allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_free(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.total_frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of currently-live tracked objects.
+    pub fn live_objects(&self) -> i64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime allocation count.
+    pub fn allocations(&self) -> u64 {
+        self.total_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime free count.
+    pub fn frees(&self) -> u64 {
+        self.total_frees.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_sub_gives_delta() {
+        let s = CommStats::default();
+        s.am_sent.fetch_add(3, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.am_sent.fetch_add(4, Ordering::Relaxed);
+        s.puts.fetch_add(1, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b - a;
+        assert_eq!(d.am_sent, 4);
+        assert_eq!(d.puts, 1);
+        assert_eq!(d.gets, 0);
+    }
+
+    #[test]
+    fn network_events_excludes_cpu_atomics() {
+        let mut s = CommSnapshot {
+            cpu_atomics: 100,
+            cpu_dcas: 50,
+            ..CommSnapshot::default()
+        };
+        assert_eq!(s.network_events(), 0);
+        s.rdma_atomics = 2;
+        s.am_sent = 3;
+        s.puts = 4;
+        s.gets = 5;
+        assert_eq!(s.network_events(), 14);
+    }
+
+    #[test]
+    fn is_zero_detects_clean_phase() {
+        let s = CommStats::default();
+        assert!(s.snapshot().is_zero());
+        s.gets.fetch_add(1, Ordering::Relaxed);
+        assert!(!s.snapshot().is_zero());
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let s = CommStats::default();
+        s.rdma_atomics.fetch_add(9, Ordering::Relaxed);
+        s.reset();
+        assert!(s.snapshot().is_zero());
+    }
+
+    #[test]
+    fn heap_stats_track_live() {
+        let h = HeapStats::default();
+        h.on_alloc();
+        h.on_alloc();
+        h.on_free();
+        assert_eq!(h.live_objects(), 1);
+        assert_eq!(h.allocations(), 2);
+        assert_eq!(h.frees(), 1);
+    }
+
+    #[test]
+    fn display_lists_every_counter() {
+        let s = CommStats::default().snapshot();
+        let text = format!("{s}");
+        assert!(text.contains("rdma_atomics"));
+        assert!(text.contains("bulk_freed_objects"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # pgas-structures — non-blocking distributed data structures
+//!
+//! The structures the paper's introduction motivates ("even the most
+//! primitive of non-blocking data structures, such as queues, stacks, and
+//! linked lists") plus its announced first application (a concurrent hash
+//! table), all built on `pgas-atomics` (`AtomicObject` / ABA) and
+//! `pgas-epoch` (`EpochManager`):
+//!
+//! * [`LockFreeStack`] — Treiber stack, the paper's Listing 1.
+//! * [`MsQueue`] — Michael–Scott FIFO queue.
+//! * [`LockFreeList`] — Harris ordered set (mark bit in the compressed
+//!   pointer).
+//! * [`DistHashMap`] — hash map with buckets distributed across locales,
+//!   the Interlocked-Hash-Table application from the paper's conclusion.
+//! * [`LockFreeSkipList`] — ordered set with expected-logarithmic
+//!   operations (Fraser's flagship EBR application).
+//! * [`RcuArray`] — RCU-style distributed resizable array.
+//!
+//! All of them are usable from any locale; nodes carry the affinity of the
+//! task that allocated them, and reclamation flows through epoch-based
+//! scatter lists.
+
+#![warn(missing_docs)]
+
+pub mod list;
+pub mod map;
+pub mod queue;
+pub mod rcu_array;
+pub mod skiplist;
+pub mod stack;
+
+pub use list::LockFreeList;
+pub use map::DistHashMap;
+pub use queue::MsQueue;
+pub use rcu_array::RcuArray;
+pub use skiplist::LockFreeSkipList;
+pub use stack::LockFreeStack;

@@ -1,0 +1,405 @@
+//! A lock-free ordered set (Harris's linked list) over global pointers.
+//!
+//! Linked lists are the third structure the paper's introduction calls out
+//! as blocked on object atomics. This is Harris's algorithm: deletion
+//! first *marks* the outgoing link of the doomed node (logical removal),
+//! then unlinks it physically; traversals snip marked nodes as they pass.
+//! The mark lives in the low bit of the compressed global pointer — the
+//! same word the NIC can CAS — so the algorithm remains RDMA-friendly.
+//!
+//! Reclamation of unlinked nodes is deferred to the `EpochManager`: a node
+//! is handed to `defer_delete` by exactly the task whose CAS physically
+//! unlinked it.
+
+use pgas_atomics::AtomicObject;
+use pgas_epoch::{EpochManager, Token};
+use pgas_sim::{alloc_local, ctx, GlobalPtr};
+
+/// One list cell. `next` carries the Harris mark bit. The key is
+/// `MaybeUninit` only because the sentinel head node has none; every
+/// non-sentinel node's key is initialized at allocation and keys are
+/// `Copy`, so reads are plain `assume_init` loads.
+pub struct Node<K> {
+    key: std::mem::MaybeUninit<K>,
+    next: AtomicObject<Node<K>>,
+}
+
+impl<K: Copy> Node<K> {
+    /// # Safety
+    /// Must not be called on the sentinel.
+    #[inline]
+    unsafe fn key(&self) -> K {
+        unsafe { self.key.assume_init() }
+    }
+}
+
+/// A lock-free sorted set keyed by `K`.
+pub struct LockFreeList<K: Ord + Copy + Send> {
+    /// Sentinel node; never removed, its key is never examined.
+    head: GlobalPtr<Node<K>>,
+    em: EpochManager,
+}
+
+// SAFETY: shared state is atomics + the manager; keys are Copy + Send.
+unsafe impl<K: Ord + Copy + Send> Send for LockFreeList<K> {}
+unsafe impl<K: Ord + Copy + Send> Sync for LockFreeList<K> {}
+
+impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
+    /// Create an empty set homed on the current locale.
+    pub fn new() -> LockFreeList<K> {
+        let rt = ctx::current_runtime();
+        let head = alloc_local(
+            &rt,
+            Node {
+                key: std::mem::MaybeUninit::uninit(), // sentinel: never read
+                next: AtomicObject::null(),
+            },
+        );
+        LockFreeList {
+            head,
+            em: EpochManager::new(),
+        }
+    }
+
+    /// Register the calling task.
+    pub fn register(&self) -> Token<'_> {
+        self.em.register()
+    }
+
+    /// Find `(pred, curr)` such that `curr` is the first unmarked node with
+    /// `key >= target` and `pred` is its unmarked predecessor, snipping
+    /// marked nodes along the way. Caller must be pinned.
+    fn search(&self, tok: &Token<'_>, target: &K) -> (GlobalPtr<Node<K>>, GlobalPtr<Node<K>>) {
+        'retry: loop {
+            let pred = self.head;
+            // SAFETY: pinned; sentinel is never reclaimed.
+            let mut pred_ref = unsafe { pred.deref() };
+            let mut pred_ptr = pred;
+            let mut curr = pred_ref.next.read().without_mark();
+            loop {
+                if curr.is_null() {
+                    return (pred_ptr, curr);
+                }
+                // SAFETY: pinned — curr cannot be reclaimed while we look.
+                let curr_ref = unsafe { curr.deref() };
+                let succ = curr_ref.next.read();
+                if succ.is_marked() {
+                    // curr is logically deleted: physically unlink it.
+                    if !pred_ref.next.compare_and_swap(curr, succ.without_mark()) {
+                        continue 'retry;
+                    }
+                    // Our CAS did the unlink: we retire the node.
+                    tok.defer_delete(curr);
+                    curr = succ.without_mark();
+                } else {
+                    // SAFETY: curr is never the sentinel.
+                    if unsafe { curr_ref.key() } >= *target {
+                        return (pred_ptr, curr);
+                    }
+                    pred_ptr = curr;
+                    pred_ref = curr_ref;
+                    curr = succ;
+                }
+            }
+        }
+    }
+
+    /// Insert `key`; returns `false` if already present.
+    pub fn insert(&self, tok: &Token<'_>, key: K) -> bool {
+        tok.pin();
+        let result = loop {
+            let (pred, curr) = self.search(tok, &key);
+            if !curr.is_null() && unsafe { curr.deref().key() } == key {
+                break false;
+            }
+            let node = alloc_local(
+                &ctx::current_runtime(),
+                Node {
+                    key: std::mem::MaybeUninit::new(key),
+                    next: AtomicObject::new(curr),
+                },
+            );
+            // SAFETY: pinned; pred is the sentinel or an unmarked node we
+            // just traversed.
+            if unsafe { pred.deref() }.next.compare_and_swap(curr, node) {
+                break true;
+            }
+            // Lost the race; the node was never published — free eagerly.
+            unsafe { pgas_sim::free(&ctx::current_runtime(), node) };
+        };
+        tok.unpin();
+        result
+    }
+
+    /// Remove `key`; returns `false` if absent.
+    pub fn remove(&self, tok: &Token<'_>, key: K) -> bool {
+        tok.pin();
+        let result = loop {
+            let (pred, curr) = self.search(tok, &key);
+            if curr.is_null() || unsafe { curr.deref().key() } != key {
+                break false;
+            }
+            let curr_ref = unsafe { curr.deref() };
+            let succ = curr_ref.next.read();
+            if succ.is_marked() {
+                continue; // someone else is deleting it; re-search
+            }
+            // Logical removal: mark the outgoing link.
+            if !curr_ref.next.compare_and_swap(succ, succ.with_mark()) {
+                continue;
+            }
+            // Physical removal: unlink. On failure a later search snips it
+            // (and defers it there) — exactly-once retirement either way.
+            if unsafe { pred.deref() }
+                .next
+                .compare_and_swap(curr, succ.without_mark())
+            {
+                tok.defer_delete(curr);
+            }
+            break true;
+        };
+        tok.unpin();
+        result
+    }
+
+    /// Membership test. Does not modify the list (no snipping), so it is
+    /// read-only with respect to communication.
+    pub fn contains(&self, tok: &Token<'_>, key: K) -> bool {
+        tok.pin();
+        // SAFETY: pinned.
+        let mut curr = unsafe { self.head.deref() }.next.read().without_mark();
+        let mut found = false;
+        while !curr.is_null() {
+            let curr_ref = unsafe { curr.deref() };
+            // SAFETY: curr is never the sentinel.
+            let k = unsafe { curr_ref.key() };
+            if k > key {
+                break;
+            }
+            let succ = curr_ref.next.read();
+            if k == key {
+                found = !succ.is_marked();
+                break;
+            }
+            curr = succ.without_mark();
+        }
+        tok.unpin();
+        found
+    }
+
+    /// Number of unmarked nodes (racy; exact in quiescence).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut curr = unsafe { self.head.deref() }.next.read().without_mark();
+        while !curr.is_null() {
+            let succ = unsafe { curr.deref() }.next.read();
+            if !succ.is_marked() {
+                n += 1;
+            }
+            curr = succ.without_mark();
+        }
+        n
+    }
+
+    /// True when no unmarked nodes remain (racy; exact in quiescence).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempt an epoch advance + reclamation.
+    pub fn try_reclaim(&self) -> bool {
+        self.em.try_reclaim()
+    }
+
+    /// Reclaim everything; callers must guarantee quiescence.
+    pub fn clear_reclaim(&self) {
+        self.em.clear()
+    }
+
+    /// The list's epoch manager.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<K: Ord + Copy + Send + 'static> Default for LockFreeList<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy + Send> Drop for LockFreeList<K> {
+    fn drop(&mut self) {
+        let teardown = || {
+            let rt = ctx::current_runtime();
+            // Quiescent teardown: free the whole chain, sentinel included.
+            let mut curr = self.head;
+            while !curr.is_null() {
+                let next = unsafe { curr.deref() }.next.read().without_mark();
+                // SAFETY: quiescent; every node was allocated by alloc_local.
+                unsafe { pgas_sim::free(&rt, curr) };
+                curr = next;
+            }
+        };
+        if pgas_sim::try_here().is_some() {
+            teardown();
+        } else {
+            self.em.runtime().run(teardown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas_sim::{Runtime, RuntimeConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn zrt(n: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::zero_latency(n))
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let l = LockFreeList::new();
+            let tok = l.register();
+            assert!(l.insert(&tok, 5u64));
+            assert!(l.insert(&tok, 3));
+            assert!(l.insert(&tok, 9));
+            assert!(!l.insert(&tok, 5), "duplicate rejected");
+            assert!(l.contains(&tok, 3));
+            assert!(l.contains(&tok, 5));
+            assert!(!l.contains(&tok, 4));
+            assert_eq!(l.len(), 3);
+            assert!(l.remove(&tok, 5));
+            assert!(!l.remove(&tok, 5), "already gone");
+            assert!(!l.contains(&tok, 5));
+            assert_eq!(l.len(), 2);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn keys_stay_sorted_internally() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let l = LockFreeList::new();
+            let tok = l.register();
+            for k in [5u64, 1, 9, 3, 7] {
+                assert!(l.insert(&tok, k));
+            }
+            // Walk the raw chain and check ordering.
+            let mut keys = Vec::new();
+            let mut curr = unsafe { l.head.deref() }.next.read().without_mark();
+            while !curr.is_null() {
+                keys.push(unsafe { curr.deref().key() });
+                curr = unsafe { curr.deref() }.next.read().without_mark();
+            }
+            assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        });
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let l = LockFreeList::new();
+            rt.coforall_tasks(4, |t| {
+                let tok = l.register();
+                for i in 0..100u64 {
+                    assert!(l.insert(&tok, (t as u64) * 1000 + i));
+                }
+            });
+            assert_eq!(l.len(), 400);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_insert_one_winner() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let l = LockFreeList::new();
+            let wins = AtomicUsize::new(0);
+            rt.coforall_tasks(6, |_| {
+                let tok = l.register();
+                if l.insert(&tok, 42u64) {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+            assert_eq!(l.len(), 1);
+        });
+    }
+
+    #[test]
+    fn concurrent_remove_exactly_one_winner() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let l = LockFreeList::new();
+            {
+                let tok = l.register();
+                for k in 0..20u64 {
+                    l.insert(&tok, k);
+                }
+            }
+            let removed = AtomicUsize::new(0);
+            rt.coforall_tasks(4, |_| {
+                let tok = l.register();
+                for k in 0..20u64 {
+                    if l.remove(&tok, k) {
+                        removed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            assert_eq!(removed.load(Ordering::Relaxed), 20, "each key removed once");
+            assert!(l.is_empty());
+            l.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn mixed_churn_matches_sequential_model() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let rt = zrt(1);
+        rt.run(|| {
+            let l = LockFreeList::new();
+            let tok = l.register();
+            let mut model = std::collections::BTreeSet::new();
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..2000 {
+                let k: u8 = rng.gen_range(0..64);
+                match rng.gen_range(0..3) {
+                    0 => assert_eq!(l.insert(&tok, k), model.insert(k)),
+                    1 => assert_eq!(l.remove(&tok, k), model.remove(&k)),
+                    _ => assert_eq!(l.contains(&tok, k), model.contains(&k)),
+                }
+            }
+            assert_eq!(l.len(), model.len());
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn distributed_inserts_from_all_locales() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let l = LockFreeList::new();
+            rt.coforall_locales(|loc| {
+                let tok = l.register();
+                for i in 0..25u64 {
+                    assert!(l.insert(&tok, (loc as u64) * 100 + i));
+                }
+            });
+            assert_eq!(l.len(), 100);
+            let tok = l.register();
+            assert!(l.contains(&tok, 301));
+            assert!(!l.contains(&tok, 326));
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+}

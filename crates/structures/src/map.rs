@@ -1,0 +1,543 @@
+//! A distributed lock-free hash map.
+//!
+//! The paper's conclusion reports porting the *Interlocked Hash Table*
+//! [16] onto `AtomicObject` + `EpochManager` as its first application.
+//! This module is that application, simplified to its load-bearing ideas:
+//!
+//! * a fixed power-of-two bucket table whose buckets are **distributed
+//!   cyclically across locales** (bucket *b* lives on locale `b % L`), so
+//!   the map's memory and its atomic traffic spread over the machine;
+//! * each bucket is a lock-free ordered chain (Harris marking, exactly as
+//!   in [`crate::list`]) keyed by `(hash, key)`;
+//! * all chain links are compressed global pointers, so bucket CAS
+//!   operations are RDMA atomics when network atomics are available;
+//! * unlinked entry nodes are retired through one shared `EpochManager` —
+//!   whose scatter lists are exercised for real here, because a bucket's
+//!   nodes are allocated on the *inserting* task's locale while the drain
+//!   happens wherever reclamation runs.
+//!
+//! `get` clones the value out while pinned (values may be reclaimed after
+//! removal, so references cannot escape the pin).
+
+use std::hash::{Hash, Hasher};
+use std::mem::MaybeUninit;
+
+use pgas_atomics::AtomicObject;
+use pgas_epoch::{EpochManager, Token};
+use pgas_sim::{alloc_local, alloc_on, ctx, GlobalPtr, LocaleId};
+
+/// One chain cell.
+pub struct Node<K, V> {
+    hash: u64,
+    key: MaybeUninit<K>,
+    value: MaybeUninit<V>,
+    next: AtomicObject<Node<K, V>>,
+}
+
+impl<K, V> Node<K, V> {
+    /// # Safety
+    /// Must not be called on a bucket sentinel.
+    unsafe fn key(&self) -> &K {
+        unsafe { self.key.assume_init_ref() }
+    }
+
+    /// # Safety
+    /// Must not be called on a bucket sentinel.
+    unsafe fn value(&self) -> &V {
+        unsafe { self.value.assume_init_ref() }
+    }
+}
+
+/// A `(predecessor, current)` node pair returned by a bucket search.
+type NodePair<K, V> = (GlobalPtr<Node<K, V>>, GlobalPtr<Node<K, V>>);
+
+/// A lock-free hash map with buckets distributed across locales.
+pub struct DistHashMap<K, V>
+where
+    K: Hash + Ord + Send + 'static,
+    V: Clone + Send + 'static,
+{
+    /// Sentinel node of each bucket chain; bucket `b` lives on locale
+    /// `b % num_locales`.
+    buckets: Box<[GlobalPtr<Node<K, V>>]>,
+    mask: u64,
+    em: EpochManager,
+}
+
+unsafe impl<K: Hash + Ord + Send + 'static, V: Clone + Send + 'static> Send for DistHashMap<K, V> {}
+unsafe impl<K: Hash + Ord + Send + 'static, V: Clone + Send + 'static> Sync for DistHashMap<K, V> {}
+
+fn hash_key<K: Hash>(key: &K) -> u64 {
+    // FxHash-style multiply-xor — cheap and good enough for tests and
+    // benchmarks; HashDoS resistance is out of scope for the reproduction.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl<K, V> DistHashMap<K, V>
+where
+    K: Hash + Ord + Send + 'static,
+    V: Clone + Send + 'static,
+{
+    /// Create a map with `num_buckets` (rounded up to a power of two)
+    /// distributed over all locales of the current runtime.
+    pub fn new(num_buckets: usize) -> DistHashMap<K, V> {
+        let rt = ctx::current_runtime();
+        let n = num_buckets.next_power_of_two().max(1);
+        let locales = rt.num_locales();
+        let buckets = (0..n)
+            .map(|b| {
+                let owner = (b % locales) as LocaleId;
+                alloc_on(
+                    &rt,
+                    owner,
+                    Node {
+                        hash: 0,
+                        key: MaybeUninit::uninit(),
+                        value: MaybeUninit::uninit(),
+                        next: AtomicObject::new_on(owner, GlobalPtr::null()),
+                    },
+                )
+            })
+            .collect();
+        DistHashMap {
+            buckets,
+            mask: (n - 1) as u64,
+            em: EpochManager::new(),
+        }
+    }
+
+    /// Register the calling task.
+    pub fn register(&self) -> Token<'_> {
+        self.em.register()
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_for(&self, hash: u64) -> GlobalPtr<Node<K, V>> {
+        self.buckets[(hash & self.mask) as usize]
+    }
+
+    /// Chain order: by `(hash, key)`.
+    fn precedes(hash: u64, key: &K, node_hash: u64, node_key: &K) -> std::cmp::Ordering {
+        (hash, key).cmp(&(node_hash, node_key))
+    }
+
+    /// Harris search within one bucket chain. Caller must be pinned.
+    fn search(
+        &self,
+        tok: &Token<'_>,
+        sentinel: GlobalPtr<Node<K, V>>,
+        hash: u64,
+        key: &K,
+    ) -> NodePair<K, V> {
+        'retry: loop {
+            let mut pred = sentinel;
+            // SAFETY: pinned; sentinels are never reclaimed.
+            let mut pred_ref = unsafe { pred.deref() };
+            let mut curr = pred_ref.next.read().without_mark();
+            loop {
+                if curr.is_null() {
+                    return (pred, curr);
+                }
+                // SAFETY: pinned.
+                let curr_ref = unsafe { curr.deref() };
+                let succ = curr_ref.next.read();
+                if succ.is_marked() {
+                    if !pred_ref.next.compare_and_swap(curr, succ.without_mark()) {
+                        continue 'retry;
+                    }
+                    tok.defer_delete(curr);
+                    curr = succ.without_mark();
+                } else {
+                    // SAFETY: curr is not a sentinel.
+                    let ord = Self::precedes(hash, key, curr_ref.hash, unsafe { curr_ref.key() });
+                    if ord != std::cmp::Ordering::Greater {
+                        return (pred, curr);
+                    }
+                    pred = curr;
+                    pred_ref = curr_ref;
+                    curr = succ;
+                }
+            }
+        }
+    }
+
+    fn matches(curr: GlobalPtr<Node<K, V>>, hash: u64, key: &K) -> bool {
+        if curr.is_null() {
+            return false;
+        }
+        // SAFETY: non-null chain nodes are initialized entries.
+        let node = unsafe { curr.deref() };
+        node.hash == hash && unsafe { node.key() } == key
+    }
+
+    /// Insert `(key, value)`. Returns `false` (and drops both) when the
+    /// key is already present.
+    pub fn insert(&self, tok: &Token<'_>, key: K, value: V) -> bool {
+        let hash = hash_key(&key);
+        let sentinel = self.bucket_for(hash);
+        tok.pin();
+        // `kv` owns the pair until it moves into a node exactly once.
+        let mut kv = Some((key, value));
+        let mut node: Option<GlobalPtr<Node<K, V>>> = None;
+        let result = loop {
+            // The key lives either in `kv` or inside the (unpublished) node.
+            // SAFETY: an unpublished node's key was initialized when built.
+            let key_ref: &K = match (&kv, node) {
+                (Some((k, _)), _) => k,
+                (None, Some(n)) => unsafe { (*n.as_ptr()).key() },
+                (None, None) => unreachable!("key neither held nor in node"),
+            };
+            let (pred, curr) = self.search(tok, sentinel, hash, key_ref);
+            if Self::matches(curr, hash, key_ref) {
+                // Key present: discard any speculatively allocated node
+                // (never published, so we own it outright).
+                if let Some(n) = node.take() {
+                    unsafe {
+                        let n_ref = &mut *n.as_ptr();
+                        n_ref.key.assume_init_drop();
+                        n_ref.value.assume_init_drop();
+                        pgas_sim::free(&ctx::current_runtime(), n);
+                    }
+                }
+                break false;
+            }
+            let n = match node {
+                Some(n) => {
+                    // Reuse the node from the lost race; repoint its next.
+                    unsafe { &*n.as_ptr() }.next.write(curr);
+                    n
+                }
+                None => {
+                    let (k, v) = kv.take().expect("pair moved twice");
+                    let n = alloc_local(
+                        &ctx::current_runtime(),
+                        Node {
+                            hash,
+                            key: MaybeUninit::new(k),
+                            value: MaybeUninit::new(v),
+                            next: AtomicObject::new(curr),
+                        },
+                    );
+                    node = Some(n);
+                    n
+                }
+            };
+            // SAFETY: pinned.
+            if unsafe { pred.deref() }.next.compare_and_swap(curr, n) {
+                break true;
+            }
+        };
+        tok.unpin();
+        result
+    }
+
+    /// Look up `key`, cloning the value out under the pin.
+    pub fn get(&self, tok: &Token<'_>, key: &K) -> Option<V> {
+        let hash = hash_key(key);
+        let sentinel = self.bucket_for(hash);
+        tok.pin();
+        // Read-only walk (no snipping), like `contains` in the list.
+        let mut curr = unsafe { sentinel.deref() }.next.read().without_mark();
+        let mut result = None;
+        while !curr.is_null() {
+            // SAFETY: pinned.
+            let node = unsafe { curr.deref() };
+            let succ = node.next.read();
+            match Self::precedes(hash, key, node.hash, unsafe { node.key() }) {
+                std::cmp::Ordering::Less => break,
+                std::cmp::Ordering::Equal => {
+                    if !succ.is_marked() {
+                        result = Some(unsafe { node.value() }.clone());
+                    }
+                    break;
+                }
+                std::cmp::Ordering::Greater => curr = succ.without_mark(),
+            }
+        }
+        tok.unpin();
+        result
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, tok: &Token<'_>, key: &K) -> bool {
+        self.get(tok, key).is_some()
+    }
+
+    /// Remove `key`; returns `true` when it was present.
+    pub fn remove(&self, tok: &Token<'_>, key: &K) -> bool {
+        let hash = hash_key(key);
+        let sentinel = self.bucket_for(hash);
+        tok.pin();
+        let result = loop {
+            let (pred, curr) = self.search(tok, sentinel, hash, key);
+            if !Self::matches(curr, hash, key) {
+                break false;
+            }
+            // SAFETY: pinned.
+            let curr_ref = unsafe { curr.deref() };
+            let succ = curr_ref.next.read();
+            if succ.is_marked() {
+                continue;
+            }
+            if !curr_ref.next.compare_and_swap(succ, succ.with_mark()) {
+                continue;
+            }
+            if unsafe { pred.deref() }
+                .next
+                .compare_and_swap(curr, succ.without_mark())
+            {
+                tok.defer_delete(curr);
+            }
+            break true;
+        };
+        tok.unpin();
+        result
+    }
+
+    /// Entry count (racy; exact in quiescence).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        for &sentinel in self.buckets.iter() {
+            let mut curr = unsafe { sentinel.deref() }.next.read().without_mark();
+            while !curr.is_null() {
+                let succ = unsafe { curr.deref() }.next.read();
+                if !succ.is_marked() {
+                    n += 1;
+                }
+                curr = succ.without_mark();
+            }
+        }
+        n
+    }
+
+    /// True when no entries are present (racy; exact in quiescence).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempt an epoch advance + reclamation.
+    pub fn try_reclaim(&self) -> bool {
+        self.em.try_reclaim()
+    }
+
+    /// Reclaim everything; callers must guarantee quiescence.
+    pub fn clear_reclaim(&self) {
+        self.em.clear()
+    }
+
+    /// The map's epoch manager.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<K, V> Drop for DistHashMap<K, V>
+where
+    K: Hash + Ord + Send + 'static,
+    V: Clone + Send + 'static,
+{
+    fn drop(&mut self) {
+        let teardown = || {
+            let rt = ctx::current_runtime();
+            for &sentinel in self.buckets.iter() {
+                // Quiescent teardown: walk and free each chain.
+                let mut curr = unsafe { sentinel.deref() }.next.read().without_mark();
+                // SAFETY: quiescent.
+                unsafe { pgas_sim::free(&rt, sentinel) };
+                while !curr.is_null() {
+                    let next = unsafe { curr.deref() }.next.read().without_mark();
+                    // SAFETY: quiescent; entry nodes hold initialized K/V.
+                    unsafe {
+                        let node = &mut *curr.as_ptr();
+                        node.key.assume_init_drop();
+                        node.value.assume_init_drop();
+                        pgas_sim::free(&rt, curr);
+                    }
+                    curr = next;
+                }
+            }
+        };
+        if pgas_sim::try_here().is_some() {
+            teardown();
+        } else {
+            self.em.runtime().run(teardown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas_sim::{Runtime, RuntimeConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn zrt(n: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::zero_latency(n))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let m: DistHashMap<u64, String> = DistHashMap::new(16);
+            let tok = m.register();
+            assert!(m.insert(&tok, 1, "one".into()));
+            assert!(m.insert(&tok, 2, "two".into()));
+            assert!(!m.insert(&tok, 1, "uno".into()), "duplicate key");
+            assert_eq!(m.get(&tok, &1).as_deref(), Some("one"));
+            assert_eq!(m.get(&tok, &3), None);
+            assert_eq!(m.len(), 2);
+            assert!(m.remove(&tok, &1));
+            assert!(!m.remove(&tok, &1));
+            assert_eq!(m.get(&tok, &1), None);
+            assert_eq!(m.len(), 1);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn bucket_count_rounds_to_power_of_two() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(10);
+            assert_eq!(m.num_buckets(), 16);
+        });
+    }
+
+    #[test]
+    fn buckets_distributed_cyclically() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(8);
+            for (b, &s) in m.buckets.iter().enumerate() {
+                assert_eq!(s.locale() as usize, b % 4);
+            }
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn colliding_keys_coexist_in_one_bucket() {
+        let rt = zrt(1);
+        rt.run(|| {
+            // 1 bucket → every key collides.
+            let m: DistHashMap<u64, u64> = DistHashMap::new(1);
+            let tok = m.register();
+            for k in 0..50 {
+                assert!(m.insert(&tok, k, k * 10));
+            }
+            for k in 0..50 {
+                assert_eq!(m.get(&tok, &k), Some(k * 10));
+            }
+            assert_eq!(m.len(), 50);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_conserves_entries() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(32);
+            let inserted = AtomicUsize::new(0);
+            let removed = AtomicUsize::new(0);
+            rt.coforall_tasks(4, |t| {
+                let tok = m.register();
+                for i in 0..200u64 {
+                    let k = (t as u64) * 1000 + i;
+                    if m.insert(&tok, k, k) {
+                        inserted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if i % 3 == 0 && m.remove(&tok, &k) {
+                        removed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            assert_eq!(inserted.load(Ordering::Relaxed), 800);
+            assert_eq!(
+                m.len(),
+                inserted.load(Ordering::Relaxed) - removed.load(Ordering::Relaxed)
+            );
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn same_key_racing_inserters_one_winner() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(4);
+            let wins = AtomicUsize::new(0);
+            rt.coforall_tasks(6, |t| {
+                let tok = m.register();
+                if m.insert(&tok, 7, t as u64) {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+            assert_eq!(m.len(), 1);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn distributed_use_from_all_locales() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(16);
+            rt.coforall_locales(|l| {
+                let tok = m.register();
+                for i in 0..50u64 {
+                    let k = (l as u64) * 100 + i;
+                    assert!(m.insert(&tok, k, k * 2));
+                }
+            });
+            assert_eq!(m.len(), 200);
+            let tok = m.register();
+            assert_eq!(m.get(&tok, &305), Some(610));
+            drop(tok);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn model_check_against_std_hashmap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let rt = zrt(2);
+        rt.run(|| {
+            let m: DistHashMap<u8, u64> = DistHashMap::new(8);
+            let tok = m.register();
+            let mut model = std::collections::HashMap::new();
+            let mut rng = StdRng::seed_from_u64(99);
+            for step in 0..2000u64 {
+                let k: u8 = rng.gen_range(0..48);
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let expect = !model.contains_key(&k);
+                        assert_eq!(
+                            m.insert(&tok, k, step),
+                            expect,
+                            "insert divergence at step {step}"
+                        );
+                        if expect {
+                            model.insert(k, step);
+                        }
+                    }
+                    1 => assert_eq!(m.remove(&tok, &k), model.remove(&k).is_some()),
+                    _ => assert_eq!(m.get(&tok, &k), model.get(&k).copied()),
+                }
+            }
+            assert_eq!(m.len(), model.len());
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+}

@@ -1,0 +1,638 @@
+//! A lock-free skiplist set (Herlihy–Shavit / Fraser style) on PGAS
+//! atomics with epoch reclamation.
+//!
+//! The ordered-set structures the paper's building blocks enable do not
+//! stop at linked lists: Fraser's practical-lock-freedom thesis — the
+//! EBR source the paper builds on [10] — used skiplists as its flagship
+//! application. This is that structure on `AtomicObject` towers:
+//!
+//! * each node owns a tower of `next` pointers; level 0 is the Harris
+//!   list that defines membership, upper levels are index shortcuts;
+//! * removal marks the tower top-down, and the level-0 mark is the
+//!   linearization point of a successful `remove`;
+//! * traversals snip marked nodes per level; the task whose CAS unlinks
+//!   a node at **level 0** hands it to the `EpochManager` (exactly-once
+//!   retirement, as in [`crate::list`]);
+//! * node heights come from a deterministic xorshift on the node address
+//!   (geometric, p = 1/2), so no RNG state is shared.
+
+use pgas_atomics::AtomicObject;
+use pgas_epoch::{EpochManager, Token};
+use pgas_sim::{alloc_local, ctx, GlobalPtr};
+
+/// Maximum tower height (supports ~2^16 elements at p = 1/2 comfortably).
+pub const MAX_HEIGHT: usize = 12;
+
+/// One skiplist node: key + full-height tower (levels ≥ `height` unused).
+pub struct Node<K> {
+    key: std::mem::MaybeUninit<K>,
+    height: usize,
+    next: [AtomicObject<Node<K>>; MAX_HEIGHT],
+}
+
+impl<K: Copy> Node<K> {
+    /// # Safety
+    /// Must not be called on the head sentinel.
+    #[inline]
+    unsafe fn key(&self) -> K {
+        unsafe { self.key.assume_init() }
+    }
+}
+
+fn new_tower<K>() -> [AtomicObject<Node<K>>; MAX_HEIGHT] {
+    std::array::from_fn(|_| AtomicObject::null())
+}
+
+/// Geometric height from a deterministic hash of the node address.
+fn height_for(addr: usize) -> usize {
+    let mut x = addr as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // count trailing ones of the hash, capped
+    ((x.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+}
+
+/// A lock-free sorted set with expected-logarithmic operations.
+pub struct LockFreeSkipList<K: Ord + Copy + Send + 'static> {
+    head: GlobalPtr<Node<K>>,
+    em: EpochManager,
+}
+
+// SAFETY: shared state is atomic towers plus the epoch manager.
+unsafe impl<K: Ord + Copy + Send + 'static> Send for LockFreeSkipList<K> {}
+unsafe impl<K: Ord + Copy + Send + 'static> Sync for LockFreeSkipList<K> {}
+
+type FindResult<K> = (
+    [GlobalPtr<Node<K>>; MAX_HEIGHT],
+    [GlobalPtr<Node<K>>; MAX_HEIGHT],
+    bool,
+);
+
+impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
+    /// An empty set homed on the current locale.
+    pub fn new() -> LockFreeSkipList<K> {
+        let head = alloc_local(
+            &ctx::current_runtime(),
+            Node {
+                key: std::mem::MaybeUninit::uninit(),
+                height: MAX_HEIGHT,
+                next: new_tower(),
+            },
+        );
+        LockFreeSkipList {
+            head,
+            em: EpochManager::new(),
+        }
+    }
+
+    /// Register the calling task.
+    pub fn register(&self) -> Token<'_> {
+        self.em.register()
+    }
+
+    /// Find predecessors/successors of `key` at every level, snipping
+    /// marked nodes; the level-0 snipper retires the node. Caller must be
+    /// pinned.
+    fn find(&self, tok: &Token<'_>, key: &K) -> FindResult<K> {
+        'retry: loop {
+            let mut preds = [GlobalPtr::null(); MAX_HEIGHT];
+            let mut succs = [GlobalPtr::null(); MAX_HEIGHT];
+            let mut pred = self.head;
+            for level in (0..MAX_HEIGHT).rev() {
+                // SAFETY: pinned; pred is head or an unmarked node seen
+                // this pass.
+                let mut curr = unsafe { pred.deref() }.next[level].read().without_mark();
+                loop {
+                    if curr.is_null() {
+                        break;
+                    }
+                    let curr_ref = unsafe { curr.deref() };
+                    let succ = curr_ref.next[level].read();
+                    if succ.is_marked() {
+                        // Physically unlink at this level.
+                        if !unsafe { pred.deref() }.next[level]
+                            .compare_and_swap(curr, succ.without_mark())
+                        {
+                            continue 'retry;
+                        }
+                        if level == 0 {
+                            // The level-0 unlink completes physical
+                            // removal: retire exactly once.
+                            tok.defer_delete(curr);
+                        }
+                        curr = succ.without_mark();
+                    } else if unsafe { curr_ref.key() } < *key {
+                        pred = curr;
+                        curr = succ;
+                    } else {
+                        break;
+                    }
+                }
+                preds[level] = pred;
+                succs[level] = curr;
+            }
+            let found = !succs[0].is_null() && unsafe { succs[0].deref().key() } == *key;
+            return (preds, succs, found);
+        }
+    }
+
+    /// Insert `key`; `false` if already present.
+    pub fn insert(&self, tok: &Token<'_>, key: K) -> bool {
+        tok.pin();
+        let result = 'outer: loop {
+            let (mut preds, mut succs, found) = self.find(tok, &key);
+            if found {
+                break false;
+            }
+            // Build the node with its bottom link pre-set.
+            let node = alloc_local(
+                &ctx::current_runtime(),
+                Node {
+                    key: std::mem::MaybeUninit::new(key),
+                    height: 0, // patched below (needs the address)
+                    next: new_tower(),
+                },
+            );
+            let height = height_for(node.addr());
+            // SAFETY: unpublished.
+            unsafe { &mut *node.as_ptr() }.height = height;
+            for (level, &succ) in succs.iter().enumerate().take(height) {
+                unsafe { node.deref() }.next[level].write(succ);
+            }
+            // Linearization: link level 0.
+            if !unsafe { preds[0].deref() }.next[0].compare_and_swap(succs[0], node) {
+                // Lost the race; node unpublished — free and retry.
+                unsafe {
+                    (*node.as_ptr()).key.assume_init_drop();
+                    pgas_sim::free(&ctx::current_runtime(), node);
+                }
+                continue 'outer;
+            }
+            // Link the index levels (best effort; removal may intervene).
+            for level in 1..height {
+                loop {
+                    let node_next = unsafe { node.deref() }.next[level].read();
+                    if node_next.is_marked() {
+                        // Node is being removed; stop indexing it.
+                        break 'outer true;
+                    }
+                    // Point the node at the current successor first…
+                    if node_next != succs[level]
+                        && !unsafe { node.deref() }.next[level]
+                            .compare_and_swap(node_next, succs[level])
+                    {
+                        continue; // re-read (marked or raced)
+                    }
+                    // …then splice it in.
+                    if unsafe { preds[level].deref() }.next[level]
+                        .compare_and_swap(succs[level], node)
+                    {
+                        break;
+                    }
+                    // The neighborhood changed: recompute it.
+                    let (p, s, _) = self.find(tok, &key);
+                    // If the node vanished from level 0, it was removed.
+                    if s[0] != node {
+                        break 'outer true;
+                    }
+                    preds = p;
+                    succs = s;
+                }
+            }
+            break true;
+        };
+        tok.unpin();
+        result
+    }
+
+    /// Remove `key`; `false` if absent.
+    pub fn remove(&self, tok: &Token<'_>, key: K) -> bool {
+        tok.pin();
+        let result = self.remove_pinned(tok, key);
+        tok.unpin();
+        result
+    }
+
+    fn remove_pinned(&self, tok: &Token<'_>, key: K) -> bool {
+        let (_, succs, found) = self.find(tok, &key);
+        if !found {
+            return false;
+        }
+        let node = succs[0];
+        // SAFETY: pinned.
+        let node_ref = unsafe { node.deref() };
+        // Mark the index levels top-down (idempotent).
+        for level in (1..node_ref.height).rev() {
+            loop {
+                let succ = node_ref.next[level].read();
+                if succ.is_marked() {
+                    break;
+                }
+                if node_ref.next[level].compare_and_swap(succ, succ.with_mark()) {
+                    break;
+                }
+            }
+        }
+        // Level 0 mark: the linearization point. Exactly one remover
+        // wins it; a CAS that fails because the successor moved retries,
+        // one that fails because the mark landed concedes.
+        loop {
+            let succ = node_ref.next[0].read();
+            if succ.is_marked() {
+                return false; // somebody else removed it first
+            }
+            if node_ref.next[0].compare_and_swap(succ, succ.with_mark()) {
+                // Trigger physical unlink (and the retirement, inside
+                // find's level-0 snip).
+                let _ = self.find(tok, &key);
+                return true;
+            }
+        }
+    }
+
+    /// Membership test (read-only: no snipping).
+    pub fn contains(&self, tok: &Token<'_>, key: K) -> bool {
+        tok.pin();
+        let mut pred = self.head;
+        let mut found = false;
+        for level in (0..MAX_HEIGHT).rev() {
+            // SAFETY: pinned.
+            let mut curr = unsafe { pred.deref() }.next[level].read().without_mark();
+            loop {
+                if curr.is_null() {
+                    break;
+                }
+                let curr_ref = unsafe { curr.deref() };
+                let succ = curr_ref.next[level].read();
+                if succ.is_marked() {
+                    curr = succ.without_mark();
+                    continue;
+                }
+                let k = unsafe { curr_ref.key() };
+                if k < key {
+                    pred = curr;
+                    curr = succ;
+                } else {
+                    if level == 0 {
+                        found = k == key;
+                    }
+                    break;
+                }
+            }
+        }
+        tok.unpin();
+        found
+    }
+
+    /// Collect every present key in `[lo, hi)` under the token's pin —
+    /// a consistent-enough snapshot for range queries (keys inserted or
+    /// removed concurrently may or may not appear, as with any lock-free
+    /// range scan).
+    pub fn collect_range(&self, tok: &Token<'_>, lo: K, hi: K) -> Vec<K> {
+        tok.pin();
+        let mut out = Vec::new();
+        // Descend to the first node >= lo using the index levels…
+        let mut pred = self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            // SAFETY: pinned.
+            let mut curr = unsafe { pred.deref() }.next[level].read().without_mark();
+            while !curr.is_null() {
+                let curr_ref = unsafe { curr.deref() };
+                let succ = curr_ref.next[level].read();
+                if succ.is_marked() {
+                    curr = succ.without_mark();
+                    continue;
+                }
+                if unsafe { curr_ref.key() } < lo {
+                    pred = curr;
+                    curr = succ;
+                } else {
+                    break;
+                }
+            }
+        }
+        // …then walk level 0 through the range.
+        let mut curr = unsafe { pred.deref() }.next[0].read().without_mark();
+        while !curr.is_null() {
+            let curr_ref = unsafe { curr.deref() };
+            let succ = curr_ref.next[0].read();
+            let k = unsafe { curr_ref.key() };
+            if k >= hi {
+                break;
+            }
+            if !succ.is_marked() && k >= lo {
+                out.push(k);
+            }
+            curr = succ.without_mark();
+        }
+        tok.unpin();
+        out
+    }
+
+    /// Number of present keys (racy; exact in quiescence).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut curr = unsafe { self.head.deref() }.next[0].read().without_mark();
+        while !curr.is_null() {
+            let succ = unsafe { curr.deref() }.next[0].read();
+            if !succ.is_marked() {
+                n += 1;
+            }
+            curr = succ.without_mark();
+        }
+        n
+    }
+
+    /// True when empty (racy; exact in quiescence).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempt an epoch advance + reclamation.
+    pub fn try_reclaim(&self) -> bool {
+        self.em.try_reclaim()
+    }
+
+    /// Reclaim everything; callers must guarantee quiescence.
+    pub fn clear_reclaim(&self) {
+        self.em.clear()
+    }
+
+    /// The set's epoch manager.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<K: Ord + Copy + Send + 'static> Default for LockFreeSkipList<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy + Send + 'static> Drop for LockFreeSkipList<K> {
+    fn drop(&mut self) {
+        let teardown = || {
+            let rt = ctx::current_runtime();
+            // Quiescent teardown: walk level 0 and free everything.
+            let mut curr = self.head;
+            while !curr.is_null() {
+                let next = unsafe { curr.deref() }.next[0].read().without_mark();
+                unsafe { pgas_sim::free(&rt, curr) };
+                curr = next;
+            }
+        };
+        if pgas_sim::try_here().is_some() {
+            teardown();
+        } else {
+            self.em.runtime().run(teardown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas_sim::{Runtime, RuntimeConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn zrt(n: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::zero_latency(n))
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            let tok = s.register();
+            for k in [50u64, 10, 90, 30, 70] {
+                assert!(s.insert(&tok, k));
+            }
+            assert!(!s.insert(&tok, 50), "duplicate");
+            assert_eq!(s.len(), 5);
+            assert!(s.contains(&tok, 30));
+            assert!(!s.contains(&tok, 31));
+            assert!(s.remove(&tok, 30));
+            assert!(!s.remove(&tok, 30));
+            assert!(!s.contains(&tok, 30));
+            assert_eq!(s.len(), 4);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn bottom_level_stays_sorted() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            let tok = s.register();
+            for k in [9u64, 1, 7, 3, 5, 8, 2, 6, 4, 0] {
+                s.insert(&tok, k);
+            }
+            let mut keys = Vec::new();
+            let mut curr = unsafe { s.head.deref() }.next[0].read().without_mark();
+            while !curr.is_null() {
+                keys.push(unsafe { curr.deref().key() });
+                curr = unsafe { curr.deref() }.next[0].read().without_mark();
+            }
+            assert_eq!(keys, (0..10).collect::<Vec<u64>>());
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn towers_never_skip_present_keys() {
+        // Index-level invariant: any key reachable at level L is also
+        // reachable at every lower level.
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            let tok = s.register();
+            for k in 0..200u64 {
+                s.insert(&tok, k * 3);
+            }
+            for level in 1..MAX_HEIGHT {
+                let mut curr = unsafe { s.head.deref() }.next[level].read().without_mark();
+                while !curr.is_null() {
+                    let key = unsafe { curr.deref().key() };
+                    assert!(s.contains(&tok, key), "level {level} key {key}");
+                    curr = unsafe { curr.deref() }.next[level].read().without_mark();
+                }
+            }
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn heights_are_geometricish() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            let tok = s.register();
+            for k in 0..512u64 {
+                s.insert(&tok, k);
+            }
+            // Count nodes per level; level 1 should be roughly half of
+            // level 0 (very loose bounds — the hash is deterministic).
+            let count_level = |level: usize| {
+                let mut n = 0;
+                let mut curr = unsafe { s.head.deref() }.next[level].read().without_mark();
+                while !curr.is_null() {
+                    n += 1;
+                    curr = unsafe { curr.deref() }.next[level].read().without_mark();
+                }
+                n
+            };
+            let l0 = count_level(0);
+            let l1 = count_level(1);
+            assert_eq!(l0, 512);
+            assert!(
+                l1 > 512 / 8 && l1 < 512 * 7 / 8,
+                "level 1 should thin out the list: {l1}"
+            );
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn model_check_against_btreeset() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            let tok = s.register();
+            let mut model = std::collections::BTreeSet::new();
+            let mut rng = StdRng::seed_from_u64(4242);
+            for step in 0..3000 {
+                let k: u8 = rng.gen_range(0..96);
+                match rng.gen_range(0..3) {
+                    0 => assert_eq!(s.insert(&tok, k), model.insert(k), "step {step}"),
+                    1 => assert_eq!(s.remove(&tok, k), model.remove(&k), "step {step}"),
+                    _ => assert_eq!(s.contains(&tok, k), model.contains(&k), "step {step}"),
+                }
+                if step % 500 == 0 {
+                    s.try_reclaim();
+                }
+            }
+            assert_eq!(s.len(), model.len());
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn collect_range_returns_sorted_window() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            let tok = s.register();
+            for k in 0..100u64 {
+                s.insert(&tok, k * 2); // evens only
+            }
+            let r = s.collect_range(&tok, 30, 50);
+            assert_eq!(r, vec![30, 32, 34, 36, 38, 40, 42, 44, 46, 48]);
+            let empty = s.collect_range(&tok, 31, 32);
+            assert!(empty.is_empty());
+            let all = s.collect_range(&tok, 0, u64::MAX);
+            assert_eq!(all.len(), 100);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            rt.coforall_tasks(4, |t| {
+                let tok = s.register();
+                for i in 0..150u64 {
+                    assert!(s.insert(&tok, t as u64 * 1000 + i));
+                }
+            });
+            assert_eq!(s.len(), 600);
+            let tok = s.register();
+            assert!(s.contains(&tok, 2075));
+            assert!(!s.contains(&tok, 2150));
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn concurrent_insert_remove_churn_conserves() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            let net = AtomicUsize::new(0);
+            rt.coforall_tasks(4, |t| {
+                let tok = s.register();
+                for i in 0..250u32 {
+                    let k = ((t as u32 * 37 + i) % 128) as u16;
+                    if i % 2 == 0 {
+                        if s.insert(&tok, k) {
+                            net.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else if s.remove(&tok, k) {
+                        net.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    if i % 64 == 0 {
+                        s.try_reclaim();
+                    }
+                }
+            });
+            assert_eq!(s.len(), net.load(Ordering::Relaxed));
+            s.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn same_key_racers_one_winner() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            let wins = AtomicUsize::new(0);
+            rt.coforall_tasks(6, |_| {
+                let tok = s.register();
+                if s.insert(&tok, 7u64) {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+            let removes = AtomicUsize::new(0);
+            rt.coforall_tasks(6, |_| {
+                let tok = s.register();
+                if s.remove(&tok, 7u64) {
+                    removes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(removes.load(Ordering::Relaxed), 1);
+            assert!(s.is_empty());
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn distributed_use_across_locales() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let s = LockFreeSkipList::new();
+            rt.coforall_locales(|l| {
+                let tok = s.register();
+                for i in 0..50u64 {
+                    assert!(s.insert(&tok, l as u64 * 100 + i));
+                }
+                for i in 0..50u64 {
+                    if i % 2 == 0 {
+                        assert!(s.remove(&tok, l as u64 * 100 + i));
+                    }
+                }
+            });
+            assert_eq!(s.len(), 4 * 25);
+            s.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! A distributed lock-free (Treiber) stack — the paper's Listing 1.
+//!
+//! `push` is the verbatim shape of the paper's example: read the head with
+//! its ABA counter, point the new node at it, and `compareAndSwapABA` it
+//! in. `pop` logically removes the node and hands it to the
+//! `EpochManager`, which is what makes the *memory reclamation* safe — the
+//! very problem the paper's two building blocks exist to solve together.
+//!
+//! Nodes are allocated on the locale of the pushing task, so a stack used
+//! from many locales interleaves remote references; the head cell lives on
+//! the locale that created the stack.
+
+use std::mem::ManuallyDrop;
+
+use pgas_atomics::AtomicAbaObject;
+use pgas_epoch::{EpochManager, Token};
+use pgas_sim::{alloc_local, ctx, GlobalPtr};
+
+/// One stack cell.
+pub struct Node<T> {
+    value: ManuallyDrop<T>,
+    next: GlobalPtr<Node<T>>,
+}
+
+/// A lock-free stack usable from any locale, with epoch-based reclamation.
+pub struct LockFreeStack<T: Send> {
+    head: AtomicAbaObject<Node<T>>,
+    em: EpochManager,
+}
+
+// SAFETY: the head cell is an atomic word and the manager is thread-safe;
+// values are required to be Send by the public API bounds.
+unsafe impl<T: Send> Send for LockFreeStack<T> {}
+unsafe impl<T: Send> Sync for LockFreeStack<T> {}
+
+impl<T: Send> LockFreeStack<T> {
+    /// Create an empty stack homed on the current locale, with its own
+    /// epoch manager.
+    pub fn new() -> LockFreeStack<T> {
+        LockFreeStack {
+            head: AtomicAbaObject::null(),
+            em: EpochManager::new(),
+        }
+    }
+
+    /// Register the calling task for stack operations (the epoch token).
+    pub fn register(&self) -> Token<'_> {
+        self.em.register()
+    }
+
+    /// Push `value` (Listing 1).
+    pub fn push(&self, tok: &Token<'_>, value: T) {
+        tok.pin();
+        let node = alloc_local(
+            &ctx::current_runtime(),
+            Node {
+                value: ManuallyDrop::new(value),
+                next: GlobalPtr::null(),
+            },
+        );
+        loop {
+            let old_head = self.head.read_aba();
+            // The node is unpublished: writing next is race-free.
+            unsafe { &mut *node.as_ptr() }.next = old_head.get_object();
+            if self.head.compare_and_swap_aba(old_head, node) {
+                break;
+            }
+        }
+        tok.unpin();
+    }
+
+    /// Pop the top value, or `None` when empty. The removed node is
+    /// deferred to the epoch manager.
+    pub fn pop(&self, tok: &Token<'_>) -> Option<T> {
+        tok.pin();
+        let result = loop {
+            let old_head = self.head.read_aba();
+            let top = old_head.get_object();
+            if top.is_null() {
+                break None;
+            }
+            // SAFETY: pinned — the node cannot be reclaimed under us.
+            let next = unsafe { top.deref() }.next;
+            if self.head.compare_and_swap_aba(old_head, next) {
+                // We won the logical removal: we are the unique owner of
+                // the value. Move it out; the deferred drop of the Node
+                // will not touch it (ManuallyDrop).
+                let value = unsafe { std::ptr::read(&*(*top.as_ptr()).value) };
+                tok.defer_delete(top);
+                break Some(value);
+            }
+        };
+        tok.unpin();
+        result
+    }
+
+    /// Racy emptiness check (exact only in quiescence).
+    pub fn is_empty(&self) -> bool {
+        self.head.read().is_null()
+    }
+
+    /// Attempt an epoch advance + reclamation.
+    pub fn try_reclaim(&self) -> bool {
+        self.em.try_reclaim()
+    }
+
+    /// Reclaim everything; callers must guarantee quiescence.
+    pub fn clear_reclaim(&self) {
+        self.em.clear()
+    }
+
+    /// The stack's epoch manager (for stats or manual control).
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<T: Send> Default for LockFreeStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> Drop for LockFreeStack<T> {
+    fn drop(&mut self) {
+        // Pop-and-drop every remaining value; the embedded EpochManager's
+        // own Drop (fields drop after this body) reclaims deferred nodes.
+        let teardown = || {
+            let tok = self.em.register();
+            while self.pop(&tok).is_some() {}
+        };
+        if pgas_sim::try_here().is_some() {
+            teardown();
+        } else {
+            self.em.runtime().run(teardown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas_sim::{Runtime, RuntimeConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn zrt(n: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::zero_latency(n))
+    }
+
+    #[test]
+    fn lifo_order_single_task() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeStack::new();
+            let tok = s.register();
+            for i in 0..10 {
+                s.push(&tok, i);
+            }
+            for i in (0..10).rev() {
+                assert_eq!(s.pop(&tok), Some(i));
+            }
+            assert_eq!(s.pop(&tok), None);
+            assert!(s.is_empty());
+        });
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeStack::<u64>::new();
+            let tok = s.register();
+            assert_eq!(s.pop(&tok), None);
+        });
+    }
+
+    #[test]
+    fn values_conserved_under_concurrency() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeStack::new();
+            let popped_sum = AtomicU64::new(0);
+            let popped_n = AtomicU64::new(0);
+            let tasks = 4u64;
+            let per = 250u64;
+            rt.coforall_tasks(tasks as usize, |t| {
+                let tok = s.register();
+                for i in 0..per {
+                    let v = t as u64 * per + i;
+                    s.push(&tok, v);
+                    if i % 3 == 0 {
+                        if let Some(v) = s.pop(&tok) {
+                            popped_sum.fetch_add(v, Ordering::Relaxed);
+                            popped_n.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+            let tok = s.register();
+            while let Some(v) = s.pop(&tok) {
+                popped_sum.fetch_add(v, Ordering::Relaxed);
+                popped_n.fetch_add(1, Ordering::Relaxed);
+            }
+            drop(tok);
+            let total = tasks * per;
+            assert_eq!(popped_n.load(Ordering::Relaxed), total);
+            assert_eq!(
+                popped_sum.load(Ordering::Relaxed),
+                total * (total - 1) / 2,
+                "every pushed value popped exactly once"
+            );
+            s.clear_reclaim();
+            // All nodes reclaimed: only the (zero) remaining live objects.
+            assert_eq!(rt.live_objects(), 0);
+        });
+    }
+
+    #[test]
+    fn distributed_pushes_interleave_locales() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let s = LockFreeStack::new();
+            rt.coforall_locales(|l| {
+                let tok = s.register();
+                for i in 0..20u64 {
+                    s.push(&tok, (l as u64) << 32 | i);
+                }
+            });
+            let tok = s.register();
+            let mut n = 0;
+            let mut locales_seen = std::collections::HashSet::new();
+            while let Some(v) = s.pop(&tok) {
+                locales_seen.insert(v >> 32);
+                n += 1;
+            }
+            drop(tok);
+            assert_eq!(n, 80);
+            assert_eq!(locales_seen.len(), 4);
+            s.clear_reclaim();
+            assert_eq!(rt.live_objects(), 0);
+        });
+    }
+
+    #[test]
+    fn drop_with_remaining_values_leaks_nothing() {
+        let rt = zrt(2);
+        rt.run(|| {
+            {
+                let s = LockFreeStack::new();
+                let tok = s.register();
+                for i in 0..50u64 {
+                    s.push(&tok, i);
+                }
+                drop(tok);
+            } // dropped non-empty
+            assert_eq!(rt.live_objects(), 0);
+        });
+    }
+
+    #[test]
+    fn drop_runs_value_destructors() {
+        struct Probe<'a>(&'a AtomicU64);
+        impl Drop for Probe<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let rt = zrt(1);
+        let drops = AtomicU64::new(0);
+        rt.run(|| {
+            {
+                let s = LockFreeStack::new();
+                let tok = s.register();
+                for _ in 0..7 {
+                    s.push(&tok, Probe(&drops));
+                }
+                // pop two: their destructors run when the caller drops them
+                let a = s.pop(&tok);
+                let b = s.pop(&tok);
+                drop((a, b));
+                drop(tok);
+            }
+            assert_eq!(drops.load(Ordering::Relaxed), 7);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! A read-mostly key-value workload on the distributed hash map — the
+//! Interlocked-Hash-Table application the paper's conclusion announces.
+//!
+//! Run with: `cargo run --example hashmap_workload`
+//!
+//! Preloads the map, then runs a 90% `get` / 5% `insert` / 5% `remove`
+//! mix from every locale, the classic read-often-write-rarely pattern for
+//! which the paper recommends pin-at-start/unpin-at-end epochs (Fig. 7's
+//! workload shape). Reports throughput in simulated time and the
+//! communication breakdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pgas_nonblocking::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let locales = 4;
+    let keyspace = 4096u64;
+    let ops_per_task = 2000usize;
+    let rt = Runtime::cluster(locales);
+
+    rt.run(|| {
+        let map: DistHashMap<u64, u64> = DistHashMap::new(256);
+        println!(
+            "{} buckets distributed over {locales} locales",
+            map.num_buckets()
+        );
+
+        // Preload half the keyspace.
+        {
+            let tok = map.register();
+            for k in (0..keyspace).step_by(2) {
+                map.insert(&tok, k, k * 7);
+            }
+        }
+        println!("preloaded {} entries", map.len());
+
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+        let writes = AtomicU64::new(0);
+        rt.reset_metrics();
+
+        let (_, span_ns) = rt.run_measured(|| {
+            rt.coforall_locales(|l| {
+                let tok = map.register();
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE + l as u64);
+                for i in 0..ops_per_task {
+                    let k = rng.gen_range(0..keyspace);
+                    match rng.gen_range(0..100) {
+                        0..=89 => match map.get(&tok, &k) {
+                            Some(v) => {
+                                assert_eq!(v, k * 7, "value integrity");
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                misses.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        90..=94 => {
+                            map.insert(&tok, k, k * 7);
+                            writes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            map.remove(&tok, &k);
+                            writes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if i % 512 == 0 {
+                        map.try_reclaim();
+                    }
+                }
+            });
+        });
+
+        let total_ops = (locales * ops_per_task) as u64;
+        println!(
+            "{} ops: {} hits, {} misses, {} writes",
+            total_ops,
+            hits.load(Ordering::Relaxed),
+            misses.load(Ordering::Relaxed),
+            writes.load(Ordering::Relaxed)
+        );
+        println!(
+            "simulated makespan: {:.3} ms ({:.0} ops/ms simulated)",
+            span_ns as f64 / 1e6,
+            total_ops as f64 / (span_ns as f64 / 1e6)
+        );
+        let comm = rt.total_comm();
+        println!(
+            "communication: {} RDMA atomics, {} AMs, {} GETs",
+            comm.rdma_atomics, comm.am_sent, comm.gets
+        );
+
+        map.clear_reclaim();
+        println!("epoch stats: {}", map.epoch_manager().stats());
+        drop(map);
+        assert_eq!(rt.live_objects(), 0, "no leaks");
+        println!("hashmap_workload OK");
+    });
+}

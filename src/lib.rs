@@ -1,0 +1,6 @@
+//! Root crate of the `pgas-nonblocking` workspace: re-exports the
+//! [`pgas_nb`] facade so the examples and integration tests in this
+//! repository read exactly like downstream user code.
+
+pub use pgas_nb::*;
+pub use pgas_nb::{atomics, epoch, sim, structures};

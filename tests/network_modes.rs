@@ -1,0 +1,183 @@
+//! Integration tests across the network configurations the paper
+//! evaluates: RDMA network atomics on/off (`CHPL_NETWORK_ATOMICS`) and the
+//! wide-pointer fallback, all running the same workloads.
+
+use pgas_nonblocking::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn stack_workload(rt: &Runtime) {
+    let s: LockFreeStack<u64> = LockFreeStack::new();
+    rt.coforall_locales(|l| {
+        let tok = s.register();
+        for i in 0..50u64 {
+            s.push(&tok, (l as u64) * 100 + i);
+        }
+    });
+    let popped = AtomicU64::new(0);
+    rt.coforall_locales(|_| {
+        let tok = s.register();
+        while s.pop(&tok).is_some() {
+            popped.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert_eq!(popped.load(Ordering::Relaxed), rt.num_locales() as u64 * 50);
+    s.clear_reclaim();
+}
+
+#[test]
+fn stack_correct_with_network_atomics() {
+    let rt = Runtime::new(RuntimeConfig::cluster(4));
+    rt.run(|| stack_workload(&rt));
+    assert_eq!(rt.live_objects(), 0);
+    assert!(rt.total_comm().rdma_atomics > 0);
+}
+
+#[test]
+fn stack_correct_without_network_atomics() {
+    let rt = Runtime::new(RuntimeConfig::cluster(4).without_network_atomics());
+    rt.run(|| stack_workload(&rt));
+    assert_eq!(rt.live_objects(), 0);
+    let s = rt.total_comm();
+    assert_eq!(s.rdma_atomics, 0, "no NIC atomics in this mode");
+    assert!(s.cpu_atomics + s.cpu_dcas > 0);
+}
+
+#[test]
+fn atomic_object_wide_mode_full_workload() {
+    // The > 2^16-locale fallback: forced wide pointers. ABA cells are
+    // unavailable, but plain AtomicObject must work via DCAS/AM.
+    let rt = Runtime::new(RuntimeConfig::cluster(3).with_wide_pointers());
+    rt.run(|| {
+        let rt_h = current_runtime();
+        let cell = AtomicObject::<u64>::null();
+        let objs: Vec<_> = (0..3)
+            .map(|l| alloc_on(&rt_h, l as LocaleId, l as u64))
+            .collect();
+        rt.coforall_locales(|l| {
+            // every locale CASes its own object in, then out
+            let mine = objs[l as usize];
+            loop {
+                let cur = cell.read();
+                if cell.compare_and_swap(cur, mine) {
+                    break;
+                }
+            }
+        });
+        assert!(!cell.read().is_null());
+        for o in objs {
+            unsafe { free(&rt_h, o) };
+        }
+        let s = rt.total_comm();
+        assert_eq!(s.rdma_atomics, 0, "wide mode cannot use the NIC");
+        assert!(s.cpu_dcas > 0, "wide ops are DCAS");
+    });
+    assert_eq!(rt.live_objects(), 0);
+}
+
+#[test]
+fn epoch_manager_works_in_every_mode() {
+    for config in [
+        RuntimeConfig::cluster(3),
+        RuntimeConfig::cluster(3).without_network_atomics(),
+        RuntimeConfig::zero_latency(3),
+    ] {
+        let rt = Runtime::new(config);
+        rt.run(|| {
+            let em = EpochManager::new();
+            rt.forall_dist(
+                90,
+                |_, _| em.register(),
+                |tok, i| {
+                    tok.pin();
+                    tok.defer_delete(alloc_local(&current_runtime(), i as u64));
+                    tok.unpin();
+                    if i % 30 == 0 {
+                        tok.try_reclaim();
+                    }
+                },
+            );
+            em.clear();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+}
+
+#[test]
+fn rdma_vs_am_gap_visible_in_virtual_time() {
+    // The headline of Fig. 3's distributed panel: remote atomics through
+    // the NIC are much cheaper than through active messages.
+    let ops = 200u64;
+
+    let measure = |config: RuntimeConfig| {
+        let rt = Runtime::new(config);
+        let ((), span) = rt.run_measured(|| {
+            let cell = AtomicInt::new_on(1, 0);
+            for i in 0..ops {
+                cell.write(i);
+            }
+        });
+        span
+    };
+
+    let rdma = measure(RuntimeConfig::cluster(2));
+    let am = measure(RuntimeConfig::cluster(2).without_network_atomics());
+    assert!(
+        am > 2 * rdma,
+        "AM path ({am} ns) should be far slower than RDMA ({rdma} ns)"
+    );
+}
+
+#[test]
+fn network_atomics_tax_local_operations() {
+    // §III: with network atomics, even local atomics pay the NIC toll —
+    // "as much as an order of magnitude" slower.
+    let ops = 500u64;
+    let measure = |net_atomics: bool| {
+        let cfg = if net_atomics {
+            RuntimeConfig::cluster(1)
+        } else {
+            RuntimeConfig::cluster(1).without_network_atomics()
+        };
+        let rt = Runtime::new(cfg);
+        let ((), span) = rt.run_measured(|| {
+            let cell = AtomicInt::new(0);
+            for i in 0..ops {
+                cell.write(i);
+            }
+        });
+        span
+    };
+    let with = measure(true);
+    let without = measure(false);
+    assert!(
+        with >= 10 * without,
+        "local atomics with network atomics on ({with} ns) should be ~an \
+         order of magnitude above CPU atomics ({without} ns)"
+    );
+}
+
+#[test]
+fn hash_map_distributed_under_both_network_modes() {
+    for config in [
+        RuntimeConfig::cluster(4),
+        RuntimeConfig::cluster(4).without_network_atomics(),
+    ] {
+        let rt = Runtime::new(config);
+        rt.run(|| {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(32);
+            rt.coforall_locales(|l| {
+                let tok = m.register();
+                for i in 0..40u64 {
+                    let k = (l as u64) * 100 + i;
+                    assert!(m.insert(&tok, k, k));
+                    if i % 2 == 0 {
+                        assert!(m.remove(&tok, &k));
+                    }
+                }
+            });
+            assert_eq!(m.len(), 4 * 20);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+}

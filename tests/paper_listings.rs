@@ -1,0 +1,215 @@
+//! Integration tests that execute the paper's listings, translated to
+//! Rust, end to end across multiple locales.
+
+use pgas_nonblocking::prelude::*;
+
+/// Listing 1: `LockFreeStack.push` with `readABA`/`compareAndSwapABA`,
+/// written directly against `AtomicAbaObject` (not the packaged stack).
+#[test]
+fn listing1_treiber_push_shape() {
+    struct Node {
+        val: u64,
+        next: GlobalPtr<Node>,
+    }
+
+    let rt = Runtime::cluster(2);
+    rt.run(|| {
+        let head: AtomicAbaObject<Node> = AtomicAbaObject::null();
+        let rt_h = current_runtime();
+        for val in 0..20 {
+            // proc push(newObj : T) {
+            //   var node = new unmanaged Node(newObj);
+            //   do {
+            //     var oldHead = head.readABA();
+            //     node.next = oldHead.getObject();
+            //   } while(!head.compareAndSwapABA(oldHead, node));
+            // }
+            let node = alloc_local(
+                &rt_h,
+                Node {
+                    val,
+                    next: GlobalPtr::null(),
+                },
+            );
+            loop {
+                let old_head = head.read_aba();
+                unsafe { &mut *node.as_ptr() }.next = old_head.get_object();
+                if head.compare_and_swap_aba(old_head, node) {
+                    break;
+                }
+            }
+        }
+        // Walk and verify LIFO content, then free.
+        let mut cur = head.read();
+        let mut expect = 19;
+        while !cur.is_null() {
+            let node = unsafe { cur.deref() };
+            assert_eq!(node.val, expect);
+            let next = node.next;
+            unsafe { free(&rt_h, cur) };
+            cur = next;
+            expect = expect.wrapping_sub(1);
+        }
+        assert_eq!(expect, u64::MAX, "exactly 20 nodes walked");
+    });
+    assert_eq!(rt.live_objects(), 0);
+}
+
+/// Listing 3: serial + parallel/distributed EpochManager usage, including
+/// the automatic unregister of task-private tokens.
+#[test]
+fn listing3_epoch_manager_usage() {
+    let rt = Runtime::cluster(3);
+    rt.run(|| {
+        let em = EpochManager::new();
+
+        // Serial and shared memory
+        let tok = em.register();
+        tok.pin();
+        tok.unpin();
+        drop(tok); // unregister
+
+        // Parallel and distributed (forall)
+        rt.forall_dist(
+            128,
+            |_, _| em.register(),
+            |tok, i| {
+                tok.pin();
+                tok.defer_delete(alloc_local(&current_runtime(), i as u64));
+                tok.unpin();
+            },
+        ); // automatic unregister
+
+        em.clear(); // Reclaim everything at once.
+        assert_eq!(rt.live_objects(), 0);
+        assert_eq!(em.stats().objects_reclaimed, 128);
+    });
+}
+
+/// Listing 5: the EpochManager microbenchmark — objects distributed
+/// cyclically, randomized owner locale, deferred deletion with periodic
+/// tryReclaim, final clear.
+#[test]
+fn listing5_microbenchmark() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let rt = Runtime::cluster(4);
+    rt.run(|| {
+        let num_objects = 512;
+        let per_iteration = 64u64;
+        let manager = EpochManager::new();
+        // var objs : [objsDom] unmanaged C(); randomizeObjs(objs);
+        let mut rng = StdRng::seed_from_u64(2020);
+        let objs: Vec<GlobalPtr<u64>> = (0..num_objects)
+            .map(|i| {
+                let owner = rng.gen_range(0..4) as LocaleId;
+                alloc_on(&current_runtime(), owner, i as u64)
+            })
+            .collect();
+        assert_eq!(rt.live_objects(), num_objects as i64);
+
+        rt.forall_dist(
+            num_objects,
+            |_, _| (manager.register(), 0u64),
+            |(tok, m), i| {
+                tok.pin();
+                tok.defer_delete(objs[i]);
+                tok.unpin();
+                *m += 1;
+                if *m % per_iteration == 0 {
+                    tok.try_reclaim();
+                }
+            },
+        );
+        manager.clear();
+        assert_eq!(rt.live_objects(), 0);
+        let s = manager.stats();
+        assert_eq!(s.objects_deferred, num_objects as u64);
+        assert_eq!(s.objects_reclaimed, num_objects as u64);
+    });
+}
+
+/// Figure 1 semantics: a task lagging in an older epoch prevents the
+/// global epoch from advancing until it becomes quiescent.
+#[test]
+fn figure1_lagging_thread_blocks_advancement() {
+    let rt = Runtime::cluster(2);
+    rt.run(|| {
+        let em = EpochManager::new();
+        let laggard = em.register();
+        laggard.pin(); // pinned in epoch 1
+
+        assert!(em.try_reclaim(), "everyone is in the current epoch");
+        assert_eq!(em.global_epoch(), 2);
+
+        // laggard is still in epoch 1: the epoch cannot advance.
+        for _ in 0..3 {
+            assert!(!em.try_reclaim());
+        }
+        assert_eq!(em.global_epoch(), 2);
+
+        laggard.unpin(); // becomes quiescent
+        assert!(em.try_reclaim());
+        assert_eq!(em.global_epoch(), 3);
+    });
+}
+
+/// Figure 2 semantics: per-locale instances, locale-cached epoch, and the
+/// guarantee that all accesses respect locality (zero communication for
+/// pin/unpin after the fan-out).
+#[test]
+fn figure2_privatization_zero_communication() {
+    let rt = Runtime::new(RuntimeConfig::zero_latency(4).without_network_atomics());
+    rt.run(|| {
+        let em = EpochManager::new();
+        rt.reset_metrics();
+        rt.coforall_locales(|_| {
+            let tok = em.register();
+            for _ in 0..100 {
+                tok.pin();
+                tok.unpin();
+            }
+        });
+        let s = rt.total_comm();
+        assert_eq!(
+            s.network_events() - s.am_sent,
+            0,
+            "pin/unpin is purely local; only the coforall fan-out \
+             communicates: {s}"
+        );
+        assert_eq!(s.am_sent, 3, "one spawn AM per remote locale");
+    });
+}
+
+/// The scatter list sorts objects by owner locale: with L locales and
+/// objects spread over all of them, reclamation needs at most one bulk AM
+/// per (drainer, owner) pair rather than one per object.
+#[test]
+fn scatter_list_bounds_reclamation_traffic() {
+    let rt = Runtime::cluster(4);
+    rt.run(|| {
+        let em = EpochManager::new();
+        let n = 200;
+        {
+            let tok = em.register();
+            tok.pin();
+            for i in 0..n {
+                tok.defer_delete(alloc_on(&current_runtime(), (i % 4) as LocaleId, i as u64));
+            }
+            tok.unpin();
+        }
+        rt.reset_metrics();
+        em.clear();
+        let s = rt.total_comm();
+        assert_eq!(rt.live_objects(), 0);
+        assert_eq!(s.bulk_freed_objects, n as u64);
+        assert!(
+            s.bulk_frees <= 3,
+            "all deferred objects sat on locale 0's instance; at most one \
+             bulk AM per remote owner, got {}",
+            s.bulk_frees
+        );
+        assert_eq!(s.remote_frees, 0);
+    });
+}

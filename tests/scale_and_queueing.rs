@@ -1,0 +1,130 @@
+//! Scale smoke tests (64 locales — the paper's machine size) and
+//! progress-thread queueing behaviour (multi-server AM service).
+
+use pgas_nonblocking::prelude::*;
+use pgas_nonblocking::sim::vtime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The paper's machine had 64 nodes; the simulator must handle 64 locales.
+#[test]
+fn sixty_four_locales_end_to_end() {
+    let rt = Runtime::new(RuntimeConfig::zero_latency(64));
+    rt.run(|| {
+        let em = EpochManager::new();
+        let count = AtomicU64::new(0);
+        rt.coforall_locales(|l| {
+            let tok = em.register();
+            tok.pin();
+            tok.defer_delete(alloc_local(&current_runtime(), l as u64));
+            tok.unpin();
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+        assert!(em.try_reclaim());
+        em.clear();
+        assert_eq!(em.tokens_allocated(), 64);
+    });
+    assert_eq!(rt.live_objects(), 0);
+}
+
+#[test]
+fn sixty_four_locale_atomics_roundtrip() {
+    let rt = Runtime::new(RuntimeConfig::zero_latency(64));
+    rt.run(|| {
+        let cell = AtomicInt::new_on(63, 0);
+        rt.coforall_locales(|_| {
+            cell.fetch_add(1);
+        });
+        assert_eq!(cell.read(), 64);
+        // Pointers to the highest locale id still compress losslessly.
+        let p = alloc_on(&current_runtime(), 63, 7u64);
+        assert_eq!(p.locale(), 63);
+        unsafe { free(&current_runtime(), p) };
+    });
+}
+
+/// The AM path serializes on the target's progress threads: with one
+/// progress thread, N concurrent senders' handlers execute back to back
+/// in virtual time; with two, the service rate doubles.
+#[test]
+fn progress_threads_are_a_real_queueing_bottleneck() {
+    let measure = |progress_threads: usize| {
+        let rt = Runtime::new(
+            RuntimeConfig::cluster(2)
+                .without_network_atomics()
+                .with_progress_threads(progress_threads),
+        );
+        let ((), span) = rt.run_measured(|| {
+            // 4 concurrent tasks on locale 0 all hammer locale 1 via AMs.
+            rt.coforall_tasks(4, |_| {
+                let cell = AtomicInt::new_on(1, 0);
+                for _ in 0..64 {
+                    cell.fetch_add(1);
+                }
+            });
+        });
+        span
+    };
+    let one = measure(1);
+    let two = measure(2);
+    assert!(
+        two * 10 < one * 9,
+        "two progress threads must be measurably faster: {two} vs {one}"
+    );
+    assert!(two * 2 > one, "but not more than 2x faster: {two} vs {one}");
+}
+
+/// Under saturation, the single-server discipline makes AM makespan grow
+/// with the number of concurrent senders (RDMA atomics do not queue).
+#[test]
+fn am_saturation_vs_rdma_independence() {
+    let measure = |net: bool, senders: usize| {
+        let cfg = if net {
+            RuntimeConfig::cluster(2)
+        } else {
+            RuntimeConfig::cluster(2).without_network_atomics()
+        };
+        let rt = Runtime::new(cfg);
+        let ((), span) = rt.run_measured(|| {
+            rt.coforall_tasks(senders, |_| {
+                let cell = AtomicInt::new_on(1, 0);
+                for _ in 0..32 {
+                    cell.write(1);
+                }
+            });
+        });
+        span
+    };
+    // RDMA: one-sided, no server → perfect overlap, makespan ~constant.
+    let rdma_1 = measure(true, 1);
+    let rdma_4 = measure(true, 4);
+    assert!(
+        rdma_4 < rdma_1 * 2,
+        "RDMA atomics overlap: {rdma_4} vs {rdma_1}"
+    );
+    // AM: handlers serialize on the single progress thread → makespan
+    // grows with senders.
+    let am_1 = measure(false, 1);
+    let am_4 = measure(false, 4);
+    assert!(am_4 > am_1 * 2, "AM handlers queue: {am_4} vs {am_1}");
+}
+
+/// Virtual time composes: sequential phases add, parallel phases max.
+#[test]
+fn vtime_composition_rules() {
+    let rt = Runtime::new(RuntimeConfig::zero_latency(2));
+    rt.run(|| {
+        vtime::set(0);
+        vtime::charge(100);
+        rt.coforall_tasks(3, |t| {
+            vtime::charge((t as u64 + 1) * 10);
+        });
+        // 100 (sequential) + max(10,20,30) (parallel)
+        assert_eq!(vtime::now(), 130);
+        rt.coforall_locales(|_| {
+            vtime::charge(5);
+        });
+        // + wire latency 0 (zero-cost net) + 5
+        assert_eq!(vtime::now(), 135);
+    });
+}
