@@ -24,7 +24,7 @@
 
 use std::sync::atomic::Ordering;
 
-use pgas_sim::comm::{self, AtomicPath};
+use pgas_sim::engine::{self, AtomicPath};
 use pgas_sim::{ctx, GlobalPtr, LocaleId, PointerMode};
 use portable_atomic::AtomicU128;
 
@@ -142,10 +142,10 @@ impl<T> AtomicAbaObject<T> {
 
     /// Route a 128-bit operation (local DCAS or active message).
     fn route<R: Send>(&self, op: impl FnOnce(&AtomicU128) -> R + Send) -> R {
-        ctx::with_core(|core, _| match comm::route_atomic_u128(core, self.owner) {
+        ctx::with_core(|core, _| match engine::remote_dcas_u128(core, self.owner) {
             AtomicPath::CpuLocal => op(&self.cell),
             AtomicPath::ActiveMessage => core.on(self.owner, move || {
-                comm::charge_handler_dcas(core);
+                engine::handler_dcas_u128(core);
                 op(&self.cell)
             }),
             AtomicPath::Nic => unreachable!("128-bit atomics never take the NIC path"),
@@ -197,25 +197,27 @@ impl<T> AtomicAbaObject<T> {
     /// low word, so — unlike every other operation here — it can ride the
     /// NIC as an RDMA atomic.
     pub fn read(&self) -> GlobalPtr<T> {
-        ctx::with_core(|core, _| match comm::route_atomic_u64(core, self.owner) {
-            AtomicPath::Nic | AtomicPath::CpuLocal => {
-                // SAFETY of the narrow read: the low half of the 128-bit
-                // cell is itself 8-byte aligned, and a racing DCAS replaces
-                // the pair atomically, so a 64-bit load observes a pointer
-                // word that was current at some point — the same guarantee
-                // an RDMA GET of the low word gives on real hardware. We
-                // express it as a full 128-bit load and truncate, which is
-                // what portable-atomic can do losslessly on every target.
-                GlobalPtr::from_bits(self.cell.load(Ordering::SeqCst) as u64)
-            }
-            AtomicPath::ActiveMessage => {
-                let bits = core.on(self.owner, || {
-                    comm::charge_handler_atomic(core);
-                    self.cell.load(Ordering::SeqCst) as u64
-                });
-                GlobalPtr::from_bits(bits)
-            }
-        })
+        ctx::with_core(
+            |core, _| match engine::remote_atomic_u64(core, self.owner) {
+                AtomicPath::Nic | AtomicPath::CpuLocal => {
+                    // SAFETY of the narrow read: the low half of the 128-bit
+                    // cell is itself 8-byte aligned, and a racing DCAS replaces
+                    // the pair atomically, so a 64-bit load observes a pointer
+                    // word that was current at some point — the same guarantee
+                    // an RDMA GET of the low word gives on real hardware. We
+                    // express it as a full 128-bit load and truncate, which is
+                    // what portable-atomic can do losslessly on every target.
+                    GlobalPtr::from_bits(self.cell.load(Ordering::SeqCst) as u64)
+                }
+                AtomicPath::ActiveMessage => {
+                    let bits = core.on(self.owner, || {
+                        engine::handler_atomic_u64(core);
+                        self.cell.load(Ordering::SeqCst) as u64
+                    });
+                    GlobalPtr::from_bits(bits)
+                }
+            },
+        )
     }
 
     /// Store an object reference without ABA semantics. Still bumps the

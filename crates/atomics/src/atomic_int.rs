@@ -5,12 +5,12 @@
 //! only natively-atomic type family in Chapel — so the reproduction needs
 //! an `atomic int` whose operations take the same NIC/CPU/AM paths. This
 //! is that type: a 64-bit atomic whose operations are priced by
-//! [`pgas_sim::comm`], with remote operations executing either as RDMA
+//! [`pgas_sim::engine`], with remote operations executing either as RDMA
 //! atomics (network atomics on) or active messages (off).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pgas_sim::comm::{self, AtomicPath};
+use pgas_sim::engine::{self, AtomicPath};
 use pgas_sim::{ctx, LocaleId};
 
 /// A 64-bit integer with Chapel-`atomic`-like semantics in the simulated
@@ -46,13 +46,15 @@ impl AtomicInt {
     }
 
     fn route<R: Send>(&self, op: impl FnOnce(&AtomicU64) -> R + Send) -> R {
-        ctx::with_core(|core, _| match comm::route_atomic_u64(core, self.owner) {
-            AtomicPath::Nic | AtomicPath::CpuLocal => op(&self.cell),
-            AtomicPath::ActiveMessage => core.on(self.owner, move || {
-                comm::charge_handler_atomic(core);
-                op(&self.cell)
-            }),
-        })
+        ctx::with_core(
+            |core, _| match engine::remote_atomic_u64(core, self.owner) {
+                AtomicPath::Nic | AtomicPath::CpuLocal => op(&self.cell),
+                AtomicPath::ActiveMessage => core.on(self.owner, move || {
+                    engine::handler_atomic_u64(core);
+                    op(&self.cell)
+                }),
+            },
+        )
     }
 
     /// Atomic load (SeqCst, like Chapel's default).

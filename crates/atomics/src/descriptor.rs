@@ -24,7 +24,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pgas_sim::comm::{self, AtomicPath};
+use pgas_sim::engine::{self, AtomicPath};
 use pgas_sim::{ctx, LocaleId, Privatized, WideGlobalPtr};
 
 const SLOT_BITS: u32 = 32;
@@ -195,7 +195,7 @@ impl DescriptorTable {
             return Some(WideGlobalPtr::null());
         }
         let (owner, gen, slot) = unpack_desc(desc);
-        comm::charge_get(core, owner, 16);
+        engine::get(core, owner, 16);
         let shard = self.shards.get_for(owner);
         let s = &shard.slots[slot as usize];
         if s.gen.load(Ordering::Acquire) as u16 != gen {
@@ -280,13 +280,15 @@ impl<T> DescriptorAtomicObject<T> {
     }
 
     fn route<R: Send>(&self, op: impl FnOnce(&AtomicU64) -> R + Send) -> R {
-        ctx::with_core(|core, _| match comm::route_atomic_u64(core, self.owner) {
-            AtomicPath::Nic | AtomicPath::CpuLocal => op(&self.cell),
-            AtomicPath::ActiveMessage => core.on(self.owner, move || {
-                comm::charge_handler_atomic(core);
-                op(&self.cell)
-            }),
-        })
+        ctx::with_core(
+            |core, _| match engine::remote_atomic_u64(core, self.owner) {
+                AtomicPath::Nic | AtomicPath::CpuLocal => op(&self.cell),
+                AtomicPath::ActiveMessage => core.on(self.owner, move || {
+                    engine::handler_atomic_u64(core);
+                    op(&self.cell)
+                }),
+            },
+        )
     }
 
     /// Read the current reference: one 64-bit (RDMA-capable) atomic load

@@ -19,7 +19,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pgas_sim::comm::{self, AtomicPath};
+use pgas_sim::engine::{self, AtomicPath};
 use pgas_sim::{ctx, GlobalPtr, LocaleId, PointerMode, WideGlobalPtr};
 use portable_atomic::AtomicU128;
 
@@ -91,22 +91,24 @@ impl<T> AtomicObject<T> {
     /// Route a compressed-word operation: direct for NIC/CPU paths, active
     /// message otherwise.
     fn route64<R: Send>(&self, cell: &AtomicU64, op: impl FnOnce(&AtomicU64) -> R + Send) -> R {
-        ctx::with_core(|core, _| match comm::route_atomic_u64(core, self.owner) {
-            AtomicPath::Nic | AtomicPath::CpuLocal => op(cell),
-            AtomicPath::ActiveMessage => core.on(self.owner, move || {
-                comm::charge_handler_atomic(core);
-                op(cell)
-            }),
-        })
+        ctx::with_core(
+            |core, _| match engine::remote_atomic_u64(core, self.owner) {
+                AtomicPath::Nic | AtomicPath::CpuLocal => op(cell),
+                AtomicPath::ActiveMessage => core.on(self.owner, move || {
+                    engine::handler_atomic_u64(core);
+                    op(cell)
+                }),
+            },
+        )
     }
 
     /// Route a wide (128-bit) operation: local DCAS or active message —
     /// never the NIC, which tops out at 64 bits.
     fn route128<R: Send>(&self, cell: &AtomicU128, op: impl FnOnce(&AtomicU128) -> R + Send) -> R {
-        ctx::with_core(|core, _| match comm::route_atomic_u128(core, self.owner) {
+        ctx::with_core(|core, _| match engine::remote_dcas_u128(core, self.owner) {
             AtomicPath::CpuLocal => op(cell),
             AtomicPath::ActiveMessage => core.on(self.owner, move || {
-                comm::charge_handler_dcas(core);
+                engine::handler_dcas_u128(core);
                 op(cell)
             }),
             AtomicPath::Nic => unreachable!("128-bit atomics never take the NIC path"),

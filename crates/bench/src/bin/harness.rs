@@ -16,8 +16,8 @@
 
 use pgas_bench::{
     ablate_election, ablate_local_manager, ablate_privatization, ablate_reclamation_scheme,
-    ablate_scatter, ablate_wide, fig3_dist, fig3_shared, fig7_read_only, fig_deletion, runtime,
-    Sample, Variant, LOCALE_SWEEP, TASK_SWEEP,
+    ablate_scatter, ablate_wide, comm_breakdown, fig3_dist, fig3_shared, fig7_read_only,
+    fig_deletion, runtime, Sample, Variant, LOCALE_SWEEP, TASK_SWEEP,
 };
 
 struct Scale {
@@ -89,6 +89,12 @@ fn fig3(sc: &Scale) {
                 let rt = runtime(locales, net);
                 let s = fig3_dist(&rt, 4, sc.fig3_ops, variant);
                 row(variant.label(), "locales", locales, net_lbl, s);
+                if locales == *LOCALE_SWEEP.last().unwrap() {
+                    println!(
+                        "    └─ comm @{locales} locales: {}",
+                        comm_breakdown(&rt.total_comm())
+                    );
+                }
             }
         }
     }
@@ -107,6 +113,10 @@ fn fig_deletion_sweep(name: &str, objects: usize, per_iter: Option<u64>, remote_
             row(name, "locales", locales, net_lbl, s);
             if locales == *LOCALE_SWEEP.last().unwrap() {
                 println!("    └─ reclaim stats @{locales} locales: {stats}");
+                println!(
+                    "    └─ comm @{locales} locales: {}",
+                    comm_breakdown(&rt.total_comm())
+                );
             }
         }
     }
@@ -156,6 +166,12 @@ fn fig7(sc: &Scale) {
             let rt = runtime(locales, net);
             let s = fig7_read_only(&rt, 4, sc.fig7_iters);
             row("pin/unpin read-only", "locales", locales, net_lbl, s);
+            if locales == *LOCALE_SWEEP.last().unwrap() {
+                println!(
+                    "    └─ comm @{locales} locales: {}",
+                    comm_breakdown(&rt.total_comm())
+                );
+            }
         }
     }
 }
@@ -177,6 +193,9 @@ fn ablations(sc: &Scale) {
                 &format!("AMs={}", comm.am_sent),
                 s,
             );
+            if locales == 8 {
+                println!("    └─ comm @{locales} locales: {}", comm_breakdown(&comm));
+            }
         }
     }
 

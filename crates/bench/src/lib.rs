@@ -69,6 +69,25 @@ impl Sample {
     }
 }
 
+/// One-line per-op-class breakdown of a communication snapshot, printed by
+/// the harness under selected figure rows. Every class the engine charges
+/// is listed, so a shift between paths (RDMA vs AM vs batched AM) is
+/// visible directly in the harness output.
+pub fn comm_breakdown(s: &CommSnapshot) -> String {
+    format!(
+        "rdma={} cpu={} dcas={} am={} batched={}({} items) puts={} gets={} net-events={}",
+        s.rdma_atomics,
+        s.cpu_atomics,
+        s.cpu_dcas,
+        s.am_sent,
+        s.am_batches,
+        s.am_batch_items,
+        s.puts,
+        s.gets,
+        s.network_events(),
+    )
+}
+
 /// The 25/25/25/25 read/write/CAS/exchange mix from §III-A, one task,
 /// operating on task-private local cells (the paper's overhead
 /// microbenchmark: independent cells isolate abstraction overhead from
@@ -209,7 +228,7 @@ pub fn fig_deletion(
         let objs: Vec<GlobalPtr<u64>> = (0..num_objects)
             .map(|i| {
                 let visiting = (i % locales) as LocaleId;
-                let owner = if locales > 1 && rng.gen_range(0..100) < remote_percent {
+                let owner = if locales > 1 && rng.gen_range(0u32..100) < remote_percent {
                     let mut o = rng.gen_range(0..locales) as LocaleId;
                     while o == visiting {
                         o = rng.gen_range(0..locales) as LocaleId;

@@ -52,8 +52,8 @@ pub mod prelude {
         EpochManager, HazardDomain, LocalEpochManager, LocalToken, OwnedAtomic, PinGuard, Token,
     };
     pub use pgas_sim::{
-        alloc_local, alloc_on, current_runtime, free, here, GlobalPtr, LocaleId, NetworkConfig,
-        PointerMode, Runtime, RuntimeConfig, RuntimeHandle,
+        alloc_local, alloc_on, current_runtime, free, here, Batcher, CommEngine, Completion,
+        GlobalPtr, LocaleId, NetworkConfig, PointerMode, Runtime, RuntimeConfig, RuntimeHandle,
     };
     pub use pgas_structures::{
         DistHashMap, LockFreeList, LockFreeSkipList, LockFreeStack, MsQueue, RcuArray,

@@ -19,7 +19,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use pgas_sim::comm;
+use pgas_sim::engine;
 use pgas_sim::{ctx, Erased, GlobalPtr};
 
 /// Hazard slots per participant (enough for Treiber/MS-queue-style
@@ -129,7 +129,7 @@ impl HazardDomain {
             for h in &p.hazards {
                 // Each hazard read is a charged atomic (the scan cost).
                 ctx::with_core(|core, here| {
-                    let _ = comm::route_atomic_u64(core, here);
+                    let _ = engine::remote_atomic_u64(core, here);
                 });
                 let a = h.load(Ordering::SeqCst);
                 if a != 0 {
@@ -229,7 +229,7 @@ impl HazardToken<'_> {
             // The hazard publication is a sequentially-consistent store
             // (fenced); charge it like any other atomic.
             ctx::with_core(|core, here| {
-                let _ = comm::route_atomic_u64(core, here);
+                let _ = engine::remote_atomic_u64(core, here);
             });
             self.participant.hazards[slot].store(p.addr(), Ordering::SeqCst);
             // Validating re-read: the pointer must still be current.
@@ -244,7 +244,7 @@ impl HazardToken<'_> {
     pub fn release(&self, slot: usize) {
         assert!(slot < SLOTS_PER_PARTICIPANT);
         ctx::with_core(|core, here| {
-            let _ = comm::route_atomic_u64(core, here);
+            let _ = engine::remote_atomic_u64(core, here);
         });
         self.participant.hazards[slot].store(0, Ordering::SeqCst);
     }

@@ -29,7 +29,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use pgas_atomics::LocalAtomicAbaObject;
-use pgas_sim::comm;
+use pgas_sim::engine;
 use pgas_sim::{ctx, Erased, GlobalPtr};
 
 /// `next` value meaning "the pushing task has not yet published the link".
@@ -55,7 +55,7 @@ impl LimboNode {
 #[inline]
 fn charge_local_atomic() {
     ctx::with_core(|core, here| {
-        let _ = comm::route_atomic_u64(core, here);
+        let _ = engine::remote_atomic_u64(core, here);
     });
 }
 

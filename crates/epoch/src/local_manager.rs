@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pgas_sim::comm;
+use pgas_sim::engine;
 use pgas_sim::{ctx, Erased, GlobalPtr};
 
 use crate::limbo::{LimboList, NodePool};
@@ -35,7 +35,7 @@ pub struct LocalToken<'a> {
 #[inline]
 fn charge_local_atomic() {
     ctx::with_core(|core, here| {
-        let _ = comm::route_atomic_u64(core, here);
+        let _ = engine::remote_atomic_u64(core, here);
     });
 }
 

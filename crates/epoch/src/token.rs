@@ -20,7 +20,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use pgas_atomics::LocalAtomicAbaObject;
-use pgas_sim::comm;
+use pgas_sim::engine;
 use pgas_sim::{ctx, GlobalPtr};
 
 /// Epoch value meaning "not in any epoch".
@@ -49,7 +49,7 @@ impl TokenSlot {
     /// scan).
     pub fn epoch(&self) -> u64 {
         ctx::with_core(|core, here| {
-            let _ = comm::route_atomic_u64(core, here);
+            let _ = engine::remote_atomic_u64(core, here);
         });
         self.local_epoch.load(Ordering::SeqCst)
     }
@@ -62,7 +62,7 @@ impl TokenSlot {
     /// Charged atomic write of the token's epoch (pin/unpin).
     pub fn set_epoch(&self, e: u64) {
         ctx::with_core(|core, here| {
-            let _ = comm::route_atomic_u64(core, here);
+            let _ = engine::remote_atomic_u64(core, here);
         });
         self.local_epoch.store(e, Ordering::SeqCst);
     }
@@ -113,7 +113,7 @@ impl TokenRegistry {
         let slot = Box::into_raw(TokenSlot::new_boxed());
         self.allocated.fetch_add(1, Ordering::Relaxed);
         ctx::with_core(|core, here| {
-            let _ = comm::route_atomic_u64(core, here);
+            let _ = engine::remote_atomic_u64(core, here);
         });
         let mut head = self.alloc_head.load(Ordering::Acquire);
         loop {

@@ -1,253 +1,35 @@
-//! Communication aggregation — the Chapel Aggregation Library pattern.
+//! Communication aggregation — compatibility shim.
 //!
-//! The paper's scatter list (§II-C) is one instance of a general idiom
-//! the authors built CAL [12] around: instead of issuing one small remote
-//! operation per item, buffer items per destination locale and ship each
-//! buffer as a single bulk active message. This module provides that
-//! idiom as a reusable, task-private [`Aggregator`].
-//!
-//! An aggregator is `&mut self` (one per task, like CAL's per-task
-//! aggregation buffers) so the buffering itself needs no synchronization;
-//! the destination-side handler runs on the destination locale's progress
-//! thread and must be thread-safe.
+//! The Chapel Aggregation Library pattern that used to live here (the
+//! generalization of the paper's scatter list, §II-C) is now part of the
+//! communication engine: see [`crate::engine::Batcher`]. This module
+//! re-exports it under its original `Aggregator` name so existing callers
+//! keep compiling; new code should use [`crate::engine`] directly.
 
-use crate::ctx;
-use crate::globalptr::LocaleId;
-use crate::runtime::RuntimeCore;
-use crate::vtime;
-
-/// Default per-destination buffer capacity (items).
-pub const DEFAULT_BUFFER_CAP: usize = 1024;
-
-/// A task-private, per-destination buffering proxy for remote operations.
-pub struct Aggregator<'h, T: Send> {
-    buffers: Vec<Vec<T>>,
-    capacity: usize,
-    handler: Box<dyn Fn(LocaleId, Vec<T>) + Send + Sync + 'h>,
-    flushes: u64,
-    items: u64,
-}
-
-impl<'h, T: Send> Aggregator<'h, T> {
-    /// Create an aggregator whose `handler` is executed **on the
-    /// destination locale** with each flushed batch.
-    pub fn new(
-        core: &RuntimeCore,
-        capacity: usize,
-        handler: impl Fn(LocaleId, Vec<T>) + Send + Sync + 'h,
-    ) -> Aggregator<'h, T> {
-        assert!(capacity >= 1, "aggregation buffers need capacity >= 1");
-        Aggregator {
-            buffers: (0..core.num_locales()).map(|_| Vec::new()).collect(),
-            capacity,
-            handler: Box::new(handler),
-            flushes: 0,
-            items: 0,
-        }
-    }
-
-    /// Buffer `item` for `dest`, flushing that destination's buffer if it
-    /// reaches capacity.
-    pub fn aggregate(&mut self, dest: LocaleId, item: T) {
-        let buf = &mut self.buffers[dest as usize];
-        buf.push(item);
-        self.items += 1;
-        if buf.len() >= self.capacity {
-            self.flush_one(dest);
-        }
-    }
-
-    /// Flush one destination's buffer (no-op when empty): a single active
-    /// message carrying the whole batch, charged for its payload.
-    pub fn flush_one(&mut self, dest: LocaleId) {
-        let batch = std::mem::take(&mut self.buffers[dest as usize]);
-        if batch.is_empty() {
-            return;
-        }
-        self.flushes += 1;
-        ctx::with_core(|core, here| {
-            let bytes = batch.len() * std::mem::size_of::<T>();
-            if dest == here {
-                // Local batch: apply directly, no communication.
-                (self.handler)(dest, batch);
-            } else {
-                crate::comm::charge_put(core, dest, bytes);
-                let handler = &self.handler;
-                core.on(dest, move || {
-                    // A touch of per-item processing cost on the handler
-                    // side, so bulk work is not modeled as free.
-                    vtime::charge(core.config.network.remote_heap_op_ns / 4 + 1);
-                    handler(dest, batch);
-                });
-            }
-        });
-    }
-
-    /// Flush every destination (call before relying on remote effects;
-    /// also done automatically on drop).
-    pub fn flush_all(&mut self) {
-        for dest in 0..self.buffers.len() as LocaleId {
-            self.flush_one(dest);
-        }
-    }
-
-    /// Items aggregated so far (including flushed ones).
-    pub fn items_aggregated(&self) -> u64 {
-        self.items
-    }
-
-    /// Batches flushed so far.
-    pub fn flushes(&self) -> u64 {
-        self.flushes
-    }
-
-    /// Items currently buffered (not yet flushed).
-    pub fn pending(&self) -> usize {
-        self.buffers.iter().map(Vec::len).sum()
-    }
-}
-
-impl<T: Send> Drop for Aggregator<'_, T> {
-    fn drop(&mut self) {
-        if pgas_sim_has_ctx() {
-            self.flush_all();
-        } else {
-            debug_assert_eq!(
-                self.pending(),
-                0,
-                "aggregator dropped outside a runtime context while holding \
-                 unflushed items"
-            );
-        }
-    }
-}
-
-fn pgas_sim_has_ctx() -> bool {
-    crate::ctx::try_here().is_some()
-}
+pub use crate::engine::{Batcher as Aggregator, DEFAULT_BUFFER_CAP};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::RuntimeConfig;
     use crate::runtime::Runtime;
     use std::sync::atomic::{AtomicU64, Ordering};
 
+    // The full behavioural suite lives in `crate::engine`; this smoke test
+    // pins the re-exported names.
     #[test]
-    fn items_reach_their_destination_handler() {
-        let rt = Runtime::new(RuntimeConfig::zero_latency(3));
-        rt.run(|| {
-            let per_locale: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
-            {
-                let mut agg = Aggregator::new(&rt, 4, |dest, batch: Vec<u64>| {
-                    // handler runs ON the destination
-                    assert_eq!(crate::ctx::here(), dest);
-                    per_locale[dest as usize].fetch_add(batch.iter().sum(), Ordering::Relaxed);
-                });
-                for i in 0..30u64 {
-                    agg.aggregate((i % 3) as LocaleId, i);
-                }
-                agg.flush_all();
-            }
-            let totals: Vec<u64> = per_locale
-                .iter()
-                .map(|a| a.load(Ordering::Relaxed))
-                .collect();
-            assert_eq!(totals.iter().sum::<u64>(), (0..30).sum::<u64>());
-            assert_eq!(totals[0], (0..30).step_by(3).sum::<u64>());
-        });
-    }
-
-    #[test]
-    fn buffering_caps_message_count() {
+    fn aggregator_alias_still_works() {
+        let _cap = DEFAULT_BUFFER_CAP;
         let rt = Runtime::cluster(2);
         rt.run(|| {
-            let sink = AtomicU64::new(0);
-            let n = 100u64;
-            let cap = 16;
-            rt.reset_metrics();
-            {
-                let mut agg = Aggregator::new(&rt, cap, |_, batch: Vec<u64>| {
-                    sink.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                });
-                for i in 0..n {
-                    agg.aggregate(1, i); // everything remote
-                }
-            } // drop flushes the tail
-            assert_eq!(sink.load(Ordering::Relaxed), n);
-            let s = rt.total_comm();
-            let expected_ams = n.div_ceil(cap as u64);
-            assert_eq!(s.am_sent, expected_ams, "one AM per full buffer");
-            assert_eq!(s.puts, expected_ams, "payload charged per batch");
-        });
-    }
-
-    #[test]
-    fn local_batches_do_not_communicate() {
-        let rt = Runtime::cluster(2);
-        rt.run(|| {
-            let count = AtomicU64::new(0);
-            rt.reset_metrics();
-            let mut agg = Aggregator::new(&rt, 8, |_, b: Vec<u64>| {
-                count.fetch_add(b.len() as u64, Ordering::Relaxed);
+            let sum = AtomicU64::new(0);
+            let mut agg = Aggregator::new(&rt, 4, |_, batch: Vec<u64>| {
+                sum.fetch_add(batch.iter().sum(), Ordering::Relaxed);
             });
-            for i in 0..20 {
-                agg.aggregate(0, i); // local destination
-            }
-            agg.flush_all();
-            assert_eq!(count.load(Ordering::Relaxed), 20);
-            assert_eq!(rt.total_comm().am_sent, 0);
-        });
-    }
-
-    #[test]
-    fn stats_track_items_and_flushes() {
-        let rt = Runtime::new(RuntimeConfig::zero_latency(2));
-        rt.run(|| {
-            let mut agg = Aggregator::new(&rt, 4, |_, _: Vec<u8>| {});
-            for i in 0..10 {
-                agg.aggregate((i % 2) as LocaleId, i as u8);
-            }
-            assert_eq!(agg.items_aggregated(), 10);
-            assert_eq!(agg.flushes(), 2, "two buffers hit capacity 4+4");
-            assert_eq!(agg.pending(), 2);
-            agg.flush_all();
-            assert_eq!(agg.pending(), 0);
-            assert_eq!(agg.flushes(), 4);
-        });
-    }
-
-    #[test]
-    fn aggregation_beats_per_item_messages_in_vtime() {
-        let n = 512u64;
-        // per-item remote ops
-        let rt = Runtime::cluster(2);
-        let ((), per_item) = rt.run_measured(|| {
-            for _ in 0..n {
-                rt.on(1, || {});
-            }
-        });
-        // aggregated
-        let rt = Runtime::cluster(2);
-        let ((), aggregated) = rt.run_measured(|| {
-            let mut agg = Aggregator::new(&rt, 128, |_, _: Vec<u64>| {});
-            for i in 0..n {
+            for i in 0..10u64 {
                 agg.aggregate(1, i);
             }
             agg.flush_all();
-        });
-        assert!(
-            aggregated * 10 < per_item,
-            "aggregation should win by >10x: {aggregated} vs {per_item}"
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "capacity >= 1")]
-    fn zero_capacity_rejected() {
-        let rt = Runtime::new(RuntimeConfig::zero_latency(1));
-        rt.run(|| {
-            let _ = Aggregator::new(&rt, 0, |_, _: Vec<u8>| {});
+            assert_eq!(sum.load(Ordering::Relaxed), 45);
         });
     }
 }

@@ -3,15 +3,24 @@
 //! Chapel's `on` statement — and, when RDMA atomics are unavailable, every
 //! remote atomic — executes as an *active message*: a closure shipped to the
 //! target locale and run by one of its progress threads. The progress
-//! thread is a real serialization point; a locale bombarded with AMs
-//! services them one at a time (per progress thread), which is why the
-//! paper's AM fallback path scales worse than NIC atomics.
+//! threads are a real serialization point; a locale bombarded with AMs
+//! services them `progress_threads` at a time, which is why the paper's AM
+//! fallback path scales worse than NIC atomics.
 //!
 //! The virtual-time protocol: a message sent at task time `t` arrives at
-//! `t + am_wire_ns`; the handling thread starts it no earlier than both its
-//! own clock and the arrival time, charges `am_handler_ns` dispatch plus
-//! whatever the body itself charges, and the reply lands back at the sender
-//! at `end + am_wire_ns`.
+//! `t + am_wire_ns`. The service acquires the earliest-free server slot
+//! (see [`crate::locale`]), starts the handler no earlier than both that
+//! slot's clock and the arrival time, and charges `am_handler_ns` dispatch
+//! plus whatever the body itself charges. The reply lands back at the
+//! sender at `end + am_wire_ns`; the server slot stays occupied until
+//! `end + am_wire_ns` too — injecting the reply ties up the service lane,
+//! so a saturated progress thread's throughput is bounded by
+//! `am_handler_ns + body + am_wire_ns` per message, not just the handler
+//! cost. (The sender-observed round trip of an *uncontended* message is
+//! unchanged: `2·am_wire_ns + am_handler_ns + body`.)
+//!
+//! This module is internal plumbing: all traffic enters through
+//! [`crate::engine::CommEngine`].
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -34,52 +43,57 @@ pub(crate) enum AmMsg {
     Shutdown,
 }
 
+/// What a handler reports back: its panic status and the virtual time at
+/// which it finished.
+pub(crate) type Reply = (std::thread::Result<()>, u64);
+
 /// The body of a progress thread for locale `locale`.
 ///
 /// Holds its own `Arc` to the runtime so the context pointer stays valid
 /// for the lifetime of the loop.
-pub(crate) fn progress_loop(
-    core: Arc<RuntimeCore>,
-    locale: LocaleId,
-    thread_idx: usize,
-    rx: Receiver<AmMsg>,
-) {
+pub(crate) fn progress_loop(core: Arc<RuntimeCore>, locale: LocaleId, rx: Receiver<AmMsg>) {
     // SAFETY: `core` is kept alive by the Arc above until this function —
     // and therefore the guard — ends.
     let _guard = unsafe { crate::ctx::enter(Arc::as_ptr(&core), locale) };
-    let clock = &core.locale(locale).progress_clocks[thread_idx];
+    let net = &core.config.network;
+    let slots = &core.locale(locale).server;
     while let Ok(msg) = rx.recv() {
         match msg {
             AmMsg::Shutdown => break,
             AmMsg::Call { thunk, send_vtime } => {
-                let start = clock.now().max(send_vtime);
-                vtime::set(start + core.config.network.am_handler_ns);
-                // A panicking handler must not take the progress thread
-                // down with it; the panic is forwarded to the sender via
-                // the reply channel inside the thunk.
-                let _ = catch_unwind(AssertUnwindSafe(thunk));
-                clock.advance_to(vtime::now());
+                // Min-clock service discipline: run on whichever server slot
+                // frees up first, regardless of which OS thread we are.
+                let (slot, free_at) = slots.acquire();
+                let start = free_at.max(send_vtime);
+                vtime::set(start + net.am_handler_ns);
+                // Count before the body runs: the thunk's last act is the
+                // reply send, and the unblocked sender may read the stats
+                // immediately — the counter must already be there.
                 core.locale(locale)
                     .stats
                     .am_handled
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // A panicking handler must not take the progress thread
+                // down with it; the panic is forwarded to the sender via
+                // the reply channel inside the thunk.
+                let _ = catch_unwind(AssertUnwindSafe(thunk));
+                // The slot is busy until the reply has been injected back
+                // onto the wire.
+                slots.release(slot, vtime::now() + net.am_wire_ns);
             }
         }
     }
 }
 
-/// Result of a remote call: the closure's output (or its panic payload) and
-/// the virtual time at which the handler finished.
-type Reply<R> = (std::thread::Result<R>, u64);
-
 /// Execute `f` on locale `dest`, blocking until it completes, and merge its
 /// virtual time back into the caller. Must not be called when
 /// `dest == here()` — the caller handles the inline case.
-pub(crate) fn remote_call<R, F>(core: &RuntimeCore, src: LocaleId, dest: LocaleId, f: F) -> R
-where
-    R: Send,
-    F: FnOnce() -> R + Send,
-{
+pub(crate) fn remote_call(
+    core: &RuntimeCore,
+    src: LocaleId,
+    dest: LocaleId,
+    f: Box<dyn FnOnce() + Send + '_>,
+) {
     debug_assert_ne!(src, dest, "remote_call requires a remote destination");
     let cfg = &core.config.network;
     core.locale(src)
@@ -88,7 +102,7 @@ where
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let send_vtime = vtime::now() + cfg.am_wire_ns;
 
-    let (tx, rx): (Sender<Reply<R>>, Receiver<Reply<R>>) = bounded(1);
+    let (tx, rx): (Sender<Reply>, Receiver<Reply>) = bounded(1);
     let thunk: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
         let out = catch_unwind(AssertUnwindSafe(f));
         let end = vtime::now();
@@ -108,8 +122,36 @@ where
         .recv()
         .expect("progress thread terminated while a remote call was pending");
     vtime::advance_to(end + cfg.am_wire_ns);
-    match out {
-        Ok(v) => v,
-        Err(payload) => resume_unwind(payload),
+    if let Err(payload) = out {
+        resume_unwind(payload);
     }
+}
+
+/// Ship `f` to locale `dest` without waiting: the sender's clock does not
+/// advance, and the returned receiver yields the handler's completion
+/// status once it has run. Must not be called when `dest == here()`.
+pub(crate) fn remote_post(
+    core: &RuntimeCore,
+    src: LocaleId,
+    dest: LocaleId,
+    f: Box<dyn FnOnce() + Send + 'static>,
+) -> Receiver<Reply> {
+    debug_assert_ne!(src, dest, "remote_post requires a remote destination");
+    let cfg = &core.config.network;
+    core.locale(src)
+        .stats
+        .am_sent
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let send_vtime = vtime::now() + cfg.am_wire_ns;
+
+    let (tx, rx): (Sender<Reply>, Receiver<Reply>) = bounded(1);
+    let thunk: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
+        let out = catch_unwind(AssertUnwindSafe(f));
+        let end = vtime::now();
+        // Nobody may be waiting (fire-and-forget): a dropped Completion
+        // disconnects the channel, which is fine.
+        let _ = tx.send((out, end));
+    });
+    core.send_am(dest, AmMsg::Call { thunk, send_vtime });
+    rx
 }

@@ -11,8 +11,8 @@
 
 use std::sync::atomic::Ordering;
 
-use crate::comm;
 use crate::ctx;
+use crate::engine;
 use crate::globalptr::LocaleId;
 use crate::runtime::RuntimeCore;
 use crate::vtime;
@@ -135,7 +135,7 @@ impl<T: Send + Sync> DistArray<T> {
     {
         let (owner, offset) = self.locate(i);
         ctx::with_core(|core, _| {
-            comm::charge_get(core, owner, std::mem::size_of::<T>());
+            engine::get(core, owner, std::mem::size_of::<T>());
         });
         self.segments[owner as usize][offset]
     }

@@ -19,8 +19,8 @@ use pgas_atomics_shim::AtomicInt;
 mod pgas_atomics_shim {
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    use crate::comm::{self, AtomicPath};
     use crate::ctx;
+    use crate::engine::{self, AtomicPath};
     use crate::globalptr::LocaleId;
 
     pub struct AtomicInt {
@@ -37,13 +37,15 @@ mod pgas_atomics_shim {
         }
 
         fn route<R: Send>(&self, op: impl FnOnce(&AtomicU64) -> R + Send) -> R {
-            ctx::with_core(|core, _| match comm::route_atomic_u64(core, self.owner) {
-                AtomicPath::Nic | AtomicPath::CpuLocal => op(&self.cell),
-                AtomicPath::ActiveMessage => core.on(self.owner, move || {
-                    comm::charge_handler_atomic(core);
-                    op(&self.cell)
-                }),
-            })
+            ctx::with_core(
+                |core, _| match engine::remote_atomic_u64(core, self.owner) {
+                    AtomicPath::Nic | AtomicPath::CpuLocal => op(&self.cell),
+                    AtomicPath::ActiveMessage => core.on(self.owner, move || {
+                        engine::handler_atomic_u64(core);
+                        op(&self.cell)
+                    }),
+                },
+            )
         }
 
         pub fn read(&self) -> u64 {

@@ -20,6 +20,10 @@
 //! coherent with processor atomics, so with `CHPL_NETWORK_ATOMICS` enabled
 //! *every* atomic — even a local one — must go through the NIC, which the
 //! paper measured as up to an order of magnitude slower.
+//!
+//! This module is internal plumbing: callers reach it exclusively through
+//! [`crate::engine::CommEngine`] (the routing tables here are what the
+//! in-process [`crate::engine::SimEngine`] backend consults).
 
 use std::sync::atomic::Ordering;
 
@@ -133,26 +137,6 @@ pub fn charge_put(core: &RuntimeCore, owner: LocaleId, bytes: usize) {
     vtime::charge(rma_cost(core, bytes));
 }
 
-/// GET a `Copy` value through a global pointer, charging RMA costs.
-///
-/// # Safety
-/// The object must be alive; see [`crate::globalptr::GlobalPtr::deref`].
-pub unsafe fn get_val<T: Copy>(core: &RuntimeCore, ptr: crate::globalptr::GlobalPtr<T>) -> T {
-    charge_get(core, ptr.locale(), std::mem::size_of::<T>());
-    unsafe { *ptr.as_ptr() }
-}
-
-/// PUT a `Copy` value through a global pointer, charging RMA costs.
-///
-/// # Safety
-/// The object must be alive and no other task may be reading or writing
-/// it concurrently (one-sided PUTs have no synchronization, exactly like
-/// the real thing).
-pub unsafe fn put_val<T: Copy>(core: &RuntimeCore, ptr: crate::globalptr::GlobalPtr<T>, v: T) {
-    charge_put(core, ptr.locale(), std::mem::size_of::<T>());
-    unsafe { *ptr.as_ptr() = v };
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,7 +229,7 @@ mod tests {
         rt.run(|| {
             let b = Box::into_raw(Box::new(0u64));
             let p = crate::globalptr::GlobalPtr::from_raw_parts(1, b);
-            unsafe { put_val(&rt, p, 55) };
+            unsafe { crate::engine::put_val(&rt, p, 55) };
             assert_eq!(unsafe { *b }, 55);
             assert_eq!(rt.total_comm().puts, 1);
             unsafe { drop(Box::from_raw(b)) };
@@ -258,7 +242,7 @@ mod tests {
         rt.run(|| {
             let b = Box::into_raw(Box::new(123u64));
             let p = crate::globalptr::GlobalPtr::from_raw_parts(1, b);
-            let v = unsafe { get_val(&rt, p) };
+            let v = unsafe { crate::engine::get_val(&rt, p) };
             assert_eq!(v, 123);
             assert_eq!(rt.total_comm().gets, 1);
             unsafe { drop(Box::from_raw(b)) };

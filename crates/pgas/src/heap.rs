@@ -170,6 +170,7 @@ pub unsafe fn free_erased_batch(core: &RuntimeCore, owner: LocaleId, batch: Vec<
     }
     debug_assert!(batch.iter().all(|e| e.owner() == owner));
     let here = ctx::here();
+    let items = batch.len() as u64;
     let free_all = move || {
         let loc = core.locale(owner);
         let n = batch.len() as u64;
@@ -183,13 +184,18 @@ pub unsafe fn free_erased_batch(core: &RuntimeCore, owner: LocaleId, batch: Vec<
     if owner == here {
         free_all();
     } else {
-        core.on(owner, || {
-            core.locale(owner)
-                .stats
-                .bulk_frees
-                .fetch_add(1, Ordering::Relaxed);
-            free_all();
-        });
+        core.engine().bulk_on(
+            core,
+            owner,
+            items,
+            Box::new(|| {
+                core.locale(owner)
+                    .stats
+                    .bulk_frees
+                    .fetch_add(1, Ordering::Relaxed);
+                free_all();
+            }),
+        );
     }
 }
 

@@ -9,12 +9,13 @@
 //!
 //! * **tasks** bound to locales (`run`, `on`, `coforall`, distributed
 //!   `forall` — see [`runtime::RuntimeCore`]),
-//! * **active messages** serviced by per-locale progress threads
-//!   ([`am`]) — the remote-execution path,
-//! * a **simulated NIC** that routes and prices atomic operations the way
-//!   Gemini/Aries network atomics behave, including the
-//!   `CHPL_NETWORK_ATOMICS` quirk that local atomics also pay the NIC toll
-//!   ([`comm`]),
+//! * a **communication engine** ([`engine`]) that owns every remote
+//!   operation: active messages serviced by per-locale progress threads
+//!   (blocking `on`, fire-and-forget `on_async`, batched `bulk_on` /
+//!   [`engine::Batcher`]) and a simulated NIC that routes and prices
+//!   atomics the way Gemini/Aries network atomics behave, including the
+//!   `CHPL_NETWORK_ATOMICS` quirk that local atomics also pay the NIC
+//!   toll,
 //! * **global pointers** with 48-bit-address/16-bit-locale compression and
 //!   a 128-bit wide fallback ([`globalptr`]),
 //! * **locale-owned heap objects** with remote allocation/free and the
@@ -50,12 +51,13 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
-pub mod am;
+pub(crate) mod am;
 pub mod array;
 pub mod barrier;
-pub mod comm;
+pub(crate) mod comm;
 pub mod config;
 pub mod ctx;
+pub mod engine;
 pub mod globalptr;
 pub mod heap;
 pub mod locale;
@@ -70,6 +72,7 @@ pub use array::{Dist, DistArray};
 pub use barrier::DistBarrier;
 pub use config::{NetworkConfig, PointerMode, RuntimeConfig};
 pub use ctx::{current_runtime, here, try_here};
+pub use engine::{AtomicPath, Batcher, CommEngine, Completion};
 pub use globalptr::{GlobalPtr, LocaleId, WideGlobalPtr};
 pub use heap::{alloc_local, alloc_on, free, free_erased, free_erased_batch, Erased};
 pub use locale::Locale;

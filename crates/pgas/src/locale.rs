@@ -1,12 +1,86 @@
-//! Per-locale state: AM queue, statistics, heap accounting, progress-thread
-//! clocks.
+//! Per-locale state: AM queue, statistics, heap accounting, and the
+//! progress-service virtual clocks (server slots).
 
 use crossbeam_channel::Sender;
+use parking_lot::Mutex;
 
 use crate::am::AmMsg;
 use crate::globalptr::LocaleId;
 use crate::stats::{CommStats, HeapStats};
-use crate::vtime::VClock;
+
+/// The virtual clocks of a locale's AM service, one *slot* per progress
+/// thread.
+///
+/// Active-message handling is a multi-server queue: `progress_threads`
+/// identical servers draining one shared arrival stream. Real OS scheduling
+/// decides which thread picks up which message, which is nondeterministic —
+/// so a handling thread does **not** own a fixed clock. Instead it acquires
+/// the free slot with the *smallest* clock (the server that would be idle
+/// first), runs the handler on that clock, and releases the slot at the
+/// handler's completion time. Virtual time therefore load-balances across
+/// servers deterministically, no matter how the OS interleaves the threads.
+pub(crate) struct ServerSlots {
+    state: Mutex<SlotState>,
+}
+
+struct SlotState {
+    clocks: Vec<u64>,
+    busy: Vec<bool>,
+}
+
+impl ServerSlots {
+    fn new(n: usize) -> ServerSlots {
+        ServerSlots {
+            state: Mutex::new(SlotState {
+                clocks: vec![0; n],
+                busy: vec![false; n],
+            }),
+        }
+    }
+
+    /// Claim the free slot with the earliest clock, returning `(slot index,
+    /// clock value)`. A free slot always exists: there are exactly as many
+    /// progress threads as slots and each thread holds at most one.
+    pub(crate) fn acquire(&self) -> (usize, u64) {
+        let mut st = self.state.lock();
+        let mut best: Option<usize> = None;
+        for i in 0..st.busy.len() {
+            if !st.busy[i]
+                && match best {
+                    None => true,
+                    Some(b) => st.clocks[i] < st.clocks[b],
+                }
+            {
+                best = Some(i);
+            }
+        }
+        let i = best.expect("no free progress-service slot (more handlers than threads?)");
+        st.busy[i] = true;
+        (i, st.clocks[i])
+    }
+
+    /// Release a slot, advancing its clock to `until` (the virtual time at
+    /// which the server becomes free again).
+    pub(crate) fn release(&self, slot: usize, until: u64) {
+        let mut st = self.state.lock();
+        debug_assert!(st.busy[slot], "releasing a slot that was not acquired");
+        st.busy[slot] = false;
+        if st.clocks[slot] < until {
+            st.clocks[slot] = until;
+        }
+    }
+
+    fn max_clock(&self) -> u64 {
+        self.state.lock().clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    fn reset(&self) {
+        let mut st = self.state.lock();
+        for c in st.clocks.iter_mut() {
+            *c = 0;
+        }
+    }
+}
 
 /// One simulated compute node.
 pub struct Locale {
@@ -17,9 +91,9 @@ pub struct Locale {
     pub stats: CommStats,
     /// Allocation accounting for objects whose affinity is this locale.
     pub heap: HeapStats,
-    /// Virtual clocks of this locale's progress threads (one per thread;
+    /// Server slots of this locale's AM service (one per progress thread;
     /// they model the serialization of active-message handling).
-    pub(crate) progress_clocks: Box<[VClock]>,
+    pub(crate) server: ServerSlots,
     /// Submission side of the AM queue; all progress threads share it.
     pub(crate) am_tx: Sender<AmMsg>,
 }
@@ -30,28 +104,22 @@ impl Locale {
             id,
             stats: CommStats::default(),
             heap: HeapStats::default(),
-            progress_clocks: (0..progress_threads).map(|_| VClock::new()).collect(),
+            server: ServerSlots::new(progress_threads),
             am_tx,
         }
     }
 
-    /// The furthest-ahead progress-thread clock — i.e. when this locale's
+    /// The furthest-ahead progress-service clock — i.e. when this locale's
     /// AM service would next be free in the busiest lane.
     pub fn progress_vtime(&self) -> u64 {
-        self.progress_clocks
-            .iter()
-            .map(|c| c.now())
-            .max()
-            .unwrap_or(0)
+        self.server.max_clock()
     }
 
     /// Reset this locale's virtual clocks and counters. Callers must ensure
     /// no operations are in flight.
     pub fn reset_metrics(&self) {
         self.stats.reset();
-        for c in self.progress_clocks.iter() {
-            c.reset();
-        }
+        self.server.reset();
     }
 }
 
@@ -59,8 +127,57 @@ impl std::fmt::Debug for Locale {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Locale")
             .field("id", &self.id)
-            .field("progress_threads", &self.progress_clocks.len())
             .field("live_objects", &self.heap.live_objects())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_prefers_earliest_free_slot() {
+        let s = ServerSlots::new(2);
+        let (a, t_a) = s.acquire();
+        assert_eq!(t_a, 0);
+        s.release(a, 1000);
+        // Both free; the other slot is still at 0 and must win.
+        let (b, t_b) = s.acquire();
+        assert_ne!(a, b);
+        assert_eq!(t_b, 0);
+        s.release(b, 500);
+        // Now clocks are {1000, 500}: the 500 slot wins.
+        let (c, t_c) = s.acquire();
+        assert_eq!(c, b);
+        assert_eq!(t_c, 500);
+        s.release(c, 600);
+    }
+
+    #[test]
+    fn busy_slots_are_skipped() {
+        let s = ServerSlots::new(2);
+        let (a, _) = s.acquire();
+        s.release(a, 10_000);
+        // Slot `a` is far ahead but free; hold the other slot busy and the
+        // next acquire must pick `a` anyway.
+        let (b, _) = s.acquire();
+        assert_ne!(a, b);
+        let (c, t_c) = s.acquire();
+        assert_eq!(c, a);
+        assert_eq!(t_c, 10_000);
+        s.release(b, 1);
+        s.release(c, 10_001);
+    }
+
+    #[test]
+    fn release_never_rewinds_a_clock() {
+        let s = ServerSlots::new(1);
+        let (a, _) = s.acquire();
+        s.release(a, 100);
+        let (a, t) = s.acquire();
+        assert_eq!(t, 100);
+        s.release(a, 50); // stale completion must not rewind
+        assert_eq!(s.max_clock(), 100);
     }
 }

@@ -29,6 +29,7 @@ use crossbeam_channel::unbounded;
 use crate::am::{self, AmMsg};
 use crate::config::RuntimeConfig;
 use crate::ctx;
+use crate::engine::{CommEngine, Completion, SimEngine};
 use crate::globalptr::LocaleId;
 use crate::locale::Locale;
 use crate::stats::CommSnapshot;
@@ -56,6 +57,7 @@ pub struct RuntimeCore {
     /// The configuration the runtime was started with.
     pub config: RuntimeConfig,
     locales: Box<[Locale]>,
+    engine: Box<dyn CommEngine>,
     shutdown: AtomicBool,
     self_weak: Weak<RuntimeCore>,
 }
@@ -104,6 +106,7 @@ impl Runtime {
             RuntimeCore {
                 config,
                 locales,
+                engine: Box::new(SimEngine),
                 shutdown: AtomicBool::new(false),
                 self_weak: self_weak.clone(),
             }
@@ -116,7 +119,7 @@ impl Runtime {
                 progress.push(
                     std::thread::Builder::new()
                         .name(format!("pgas-progress-{id}.{t}"))
-                        .spawn(move || am::progress_loop(core, id as LocaleId, t, rx))
+                        .spawn(move || am::progress_loop(core, id as LocaleId, rx))
                         .expect("failed to spawn progress thread"),
                 );
             }
@@ -221,25 +224,60 @@ impl RuntimeCore {
         })
     }
 
+    /// The communication engine this runtime routes all remote traffic
+    /// through (see [`crate::engine::CommEngine`]).
+    #[inline]
+    pub fn engine(&self) -> &dyn CommEngine {
+        &*self.engine
+    }
+
     /// Chapel's `on Locales[dest] do f()`: execute `f` on locale `dest`,
     /// blocking until it finishes. Runs inline (zero communication) when
-    /// the caller is already on `dest`; otherwise ships an active message,
-    /// whose handling serializes on the target's progress threads.
+    /// the caller is already on `dest`; otherwise ships an active message
+    /// through the [`Self::engine`], whose handling serializes on the
+    /// target's progress threads.
     pub fn on<R, F>(&self, dest: LocaleId, f: F) -> R
     where
         R: Send,
         F: FnOnce() -> R + Send,
     {
-        let src = ctx::here();
         assert!(
             (dest as usize) < self.locales.len(),
             "locale {dest} out of range (runtime has {} locales)",
             self.locales.len()
         );
-        if src == dest {
-            return f();
+        // The engine's `on` takes a unit closure; the return value travels
+        // through this stack slot, which the engine's blocking contract
+        // guarantees is written before `on` returns.
+        let mut slot: Option<R> = None;
+        {
+            let slot_ref = &mut slot;
+            self.engine.on(
+                self,
+                dest,
+                Box::new(move || {
+                    *slot_ref = Some(f());
+                }),
+            );
         }
-        am::remote_call(self, src, dest, f)
+        slot.expect("remote closure did not run")
+    }
+
+    /// Fire-and-forget variant of [`Self::on`]: ship `f` to `dest` and
+    /// return a [`Completion`] immediately, without advancing the caller's
+    /// virtual clock. Waiting on the handle merges the handler's finish
+    /// time back in; dropping it abandons the result (the handler still
+    /// runs).
+    pub fn on_async<F>(&self, dest: LocaleId, f: F) -> Completion
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        assert!(
+            (dest as usize) < self.locales.len(),
+            "locale {dest} out of range (runtime has {} locales)",
+            self.locales.len()
+        );
+        self.engine.on_async(self, dest, Box::new(f))
     }
 
     /// `coforall loc in Locales do on loc { f(loc) }`: run `f` once per

@@ -78,6 +78,12 @@ counters! {
     am_sent,
     /// Active messages *handled* by this locale's progress threads.
     am_handled,
+    /// Batched active messages sent from this locale — bulk AMs that carry
+    /// many aggregated operations (scatter-list frees, [`crate::engine::Batcher`]
+    /// flushes). Each batch is also counted once in `am_sent`.
+    am_batches,
+    /// Individual operations carried inside batched active messages.
+    am_batch_items,
     /// One-sided PUT operations issued from this locale.
     puts,
     /// One-sided GET operations issued from this locale.

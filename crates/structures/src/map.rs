@@ -21,10 +21,13 @@
 
 use std::hash::{Hash, Hasher};
 use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use pgas_atomics::AtomicObject;
 use pgas_epoch::{EpochManager, Token};
-use pgas_sim::{alloc_local, alloc_on, ctx, GlobalPtr, LocaleId};
+use pgas_sim::engine::DEFAULT_BUFFER_CAP;
+use pgas_sim::{alloc_local, alloc_on, ctx, Batcher, GlobalPtr, LocaleId};
 
 /// One chain cell.
 pub struct Node<K, V> {
@@ -269,6 +272,66 @@ where
         self.get(tok, key).is_some()
     }
 
+    /// Insert many pairs through the engine's batched communication path.
+    ///
+    /// Pairs are binned by the owning locale of their bucket and shipped as
+    /// bulk active messages (one per destination buffer, see
+    /// [`pgas_sim::Batcher`]) instead of paying per-key communication; the
+    /// destination-side handler registers its own epoch token and performs
+    /// ordinary lock-free inserts, so batched and per-key inserts can run
+    /// concurrently. Returns the number of pairs actually inserted
+    /// (duplicates of existing keys are dropped, as in [`Self::insert`]).
+    pub fn insert_bulk(&self, pairs: Vec<(K, V)>) -> usize {
+        let rt = ctx::current_runtime();
+        let inserted = AtomicUsize::new(0);
+        let mut batcher = Batcher::new(&rt, DEFAULT_BUFFER_CAP, |_, batch: Vec<(K, V)>| {
+            let tok = self.em.register();
+            for (k, v) in batch {
+                if self.insert(&tok, k, v) {
+                    inserted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        for (k, v) in pairs {
+            let dest = self.bucket_for(hash_key(&k)).locale();
+            batcher.aggregate(dest, (k, v));
+        }
+        batcher.flush();
+        drop(batcher);
+        inserted.load(Ordering::Relaxed)
+    }
+
+    /// Look up many keys through the engine's batched communication path.
+    ///
+    /// The counterpart of [`Self::insert_bulk`]: keys are binned by bucket
+    /// owner, each destination's batch travels as one bulk active message,
+    /// and lookups execute on the locale that owns the bucket chain.
+    /// Returns the values (or `None`) aligned with the input order.
+    pub fn get_bulk(&self, keys: Vec<K>) -> Vec<Option<V>> {
+        let rt = ctx::current_runtime();
+        let results: Vec<Mutex<Option<V>>> = keys.iter().map(|_| Mutex::new(None)).collect();
+        let mut batcher = Batcher::new(&rt, DEFAULT_BUFFER_CAP, |_, batch: Vec<(usize, K)>| {
+            let tok = self.em.register();
+            for (i, k) in batch {
+                let hit = self.get(&tok, &k);
+                match results[i].lock() {
+                    Ok(mut slot) => *slot = hit,
+                    Err(poison) => *poison.into_inner() = hit,
+                }
+            }
+        });
+        for (i, k) in keys.into_iter().enumerate() {
+            let dest = self.bucket_for(hash_key(&k)).locale();
+            batcher.aggregate(dest, (i, k));
+        }
+        batcher.flush();
+        drop(batcher);
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect()
+    }
+
     /// Remove `key`; returns `true` when it was present.
     pub fn remove(&self, tok: &Token<'_>, key: &K) -> bool {
         let hash = hash_key(key);
@@ -503,6 +566,61 @@ mod tests {
             let tok = m.register();
             assert_eq!(m.get(&tok, &305), Some(610));
             drop(tok);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn insert_bulk_and_get_bulk_roundtrip() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(32);
+            let pairs: Vec<(u64, u64)> = (0..200).map(|k| (k, k * 3)).collect();
+            assert_eq!(m.insert_bulk(pairs), 200);
+            assert_eq!(m.len(), 200);
+            // Re-inserting the same keys inserts nothing.
+            let dups: Vec<(u64, u64)> = (0..200).map(|k| (k, 0)).collect();
+            assert_eq!(m.insert_bulk(dups), 0);
+            let got = m.get_bulk((0..250).collect());
+            for (k, v) in got.iter().enumerate() {
+                if k < 200 {
+                    assert_eq!(*v, Some(k as u64 * 3), "key {k}");
+                } else {
+                    assert_eq!(*v, None, "key {k}");
+                }
+            }
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn bulk_insert_batches_communication() {
+        // Real cluster latencies so the comm counters mean something.
+        let rt = Runtime::cluster(4);
+        rt.run(|| {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(64);
+            rt.reset_metrics(); // ignore construction traffic
+            let n = 512u64;
+            let before = rt.total_comm();
+            assert_eq!(m.insert_bulk((0..n).map(|k| (k, k)).collect()), n as usize);
+            let d = rt.total_comm() - before;
+            // Batched: at most one AM per destination buffer, far fewer
+            // than one per key. Every batched item is accounted.
+            assert!(d.am_batches >= 1, "remote batches must flow");
+            assert!(
+                d.am_sent <= 2 * rt.num_locales() as u64,
+                "bulk insert must not pay per-key AMs: {} AMs for {n} keys",
+                d.am_sent
+            );
+            // Keys whose bucket lives on the calling locale are applied
+            // inline; the rest ride batches.
+            assert!(
+                d.am_batch_items > 0 && d.am_batch_items < n,
+                "remote items ride batches, local ones apply inline: {}",
+                d.am_batch_items
+            );
             m.clear_reclaim();
         });
         assert_eq!(rt.live_objects(), 0);

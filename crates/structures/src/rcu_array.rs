@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use pgas_atomics::AtomicObject;
 use pgas_epoch::{EpochManager, Token};
-use pgas_sim::{alloc_local, alloc_on, comm, ctx, GlobalPtr, LocaleId};
+use pgas_sim::{alloc_local, alloc_on, ctx, engine, GlobalPtr, LocaleId};
 
 /// One fixed-size block of cells, owned by a single locale.
 pub struct Block {
@@ -113,7 +113,7 @@ impl RcuArray {
             let t = unsafe { self.table.read().deref() };
             assert!(i < t.len, "index {i} out of bounds (len {})", t.len);
             let block = t.blocks[i / self.block_size];
-            comm::charge_get(core, block.locale(), 8);
+            engine::get(core, block.locale(), 8);
             // SAFETY: blocks live until the array drops.
             unsafe { block.deref() }.cells[i % self.block_size].load(Ordering::SeqCst)
         });
@@ -129,7 +129,7 @@ impl RcuArray {
             let t = unsafe { self.table.read().deref() };
             assert!(i < t.len, "index {i} out of bounds (len {})", t.len);
             let block = t.blocks[i / self.block_size];
-            comm::charge_put(core, block.locale(), 8);
+            engine::put(core, block.locale(), 8);
             unsafe { block.deref() }.cells[i % self.block_size].store(v, Ordering::SeqCst);
         });
         tok.unpin();

@@ -42,7 +42,7 @@ fn main() {
             while let Some(v) = stack.pop(&tok) {
                 checksum.fetch_add(v & 0xFFFF_FFFF, Ordering::Relaxed);
                 local += 1;
-                if local % 128 == 0 {
+                if local.is_multiple_of(128) {
                     // Cooperative reclamation while working.
                     stack.try_reclaim();
                 }

@@ -43,7 +43,7 @@ fn main() {
                 // A remote atomic increment: RDMA fetch-add through the
                 // NIC (or an active message without network atomics).
                 let owner = histo.affinity(bin);
-                pgas_nonblocking::sim::comm::charge_put(&current_runtime(), owner, 8);
+                pgas_nonblocking::sim::engine::put(&current_runtime(), owner, 8);
                 histo.local_segment(owner)[bin_offset(&histo, bin)].fetch_add(1, Ordering::Relaxed);
             }
             barrier.wait();

@@ -1,0 +1,174 @@
+//! Path parity through the communication engine.
+//!
+//! The same workload — `N` remote increments spread over a few cells owned
+//! by locale 1 — is driven through each of the engine's three remote-
+//! operation paths:
+//!
+//! 1. **RDMA atomics** (network atomics on): every increment is a NIC-side
+//!    atomic, no active messages.
+//! 2. **Blocking AMs** (network atomics off): every increment ships as its
+//!    own active message and executes as a CPU atomic on the owner.
+//! 3. **Batched AMs** (network atomics off + [`Batcher`]): increments are
+//!    buffered per destination and ride bulk active messages.
+//!
+//! All three must produce *identical memory effects*, and the counters must
+//! conserve the operation count — every increment is accounted on exactly
+//! one path-appropriate counter. Batching must strictly reduce the AM
+//! count.
+
+use pgas_nonblocking::prelude::*;
+use pgas_nonblocking::sim::CommSnapshot;
+
+const CELLS: usize = 8;
+const N: u64 = 256;
+
+/// Run the workload and return (final cell values, counter delta).
+fn run_workload(
+    config: RuntimeConfig,
+    drive: impl Fn(&Runtime, &[AtomicInt]),
+) -> (Vec<u64>, CommSnapshot) {
+    let rt = Runtime::new(config);
+    rt.run(|| {
+        let cells: Vec<AtomicInt> = (0..CELLS).map(|_| AtomicInt::new_on(1, 0)).collect();
+        rt.reset_metrics();
+        drive(&rt, &cells);
+        // Snapshot before the read-back below so the delta covers exactly
+        // the N increments.
+        let delta = rt.total_comm();
+        (cells.iter().map(|c| c.read()).collect(), delta)
+    })
+}
+
+fn per_op(_rt: &Runtime, cells: &[AtomicInt]) {
+    for i in 0..N {
+        cells[i as usize % CELLS].fetch_add(1);
+    }
+}
+
+fn batched(rt: &Runtime, cells: &[AtomicInt]) {
+    let mut b = Batcher::new(rt, 64, |_, batch: Vec<usize>| {
+        for idx in batch {
+            cells[idx].fetch_add(1);
+        }
+    });
+    for i in 0..N {
+        // Every cell is owned by locale 1; route by owner as a real
+        // aggregating caller would.
+        b.aggregate(cells[i as usize % CELLS].owner(), i as usize % CELLS);
+    }
+    b.flush();
+}
+
+#[test]
+fn all_three_paths_have_identical_memory_effects() {
+    let (rdma_vals, rdma) = run_workload(RuntimeConfig::cluster(2), per_op);
+    let (am_vals, am) = run_workload(RuntimeConfig::cluster(2).without_network_atomics(), per_op);
+    let (batched_vals, bat) =
+        run_workload(RuntimeConfig::cluster(2).without_network_atomics(), batched);
+
+    // Memory effects: every path ends with the same cell values.
+    let expected: Vec<u64> = (0..CELLS as u64).map(|_| N / CELLS as u64).collect();
+    assert_eq!(rdma_vals, expected, "RDMA path memory effect");
+    assert_eq!(am_vals, expected, "blocking-AM path memory effect");
+    assert_eq!(batched_vals, expected, "batched-AM path memory effect");
+
+    // Path 1: all NIC, no AM traffic.
+    assert_eq!(rdma.rdma_atomics, N);
+    assert_eq!(rdma.am_sent, 0);
+    assert_eq!(rdma.cpu_atomics, 0);
+
+    // Path 2: one AM per op, executed as a CPU atomic on the owner.
+    assert_eq!(am.am_sent, N);
+    assert_eq!(am.am_handled, N);
+    assert_eq!(am.cpu_atomics, N);
+    assert_eq!(am.rdma_atomics, 0);
+    assert_eq!(am.am_batches, 0, "per-op path never batches");
+
+    // Path 3: ceil(N/cap) bulk AMs carrying all N ops.
+    assert_eq!(bat.am_sent, N.div_ceil(64));
+    assert_eq!(bat.am_batches, N.div_ceil(64));
+    assert_eq!(bat.am_batch_items, N);
+    assert_eq!(bat.cpu_atomics, N, "every item still executes on the owner");
+    assert_eq!(bat.rdma_atomics, 0);
+
+    // Conservation: each path applies exactly N atomic increments.
+    for (name, d) in [("rdma", &rdma), ("blocking-am", &am), ("batched-am", &bat)] {
+        assert_eq!(
+            d.rdma_atomics + d.cpu_atomics,
+            N,
+            "{name}: increments must be conserved across paths"
+        );
+    }
+
+    // Batching strictly reduces message count.
+    assert!(
+        bat.am_sent < am.am_sent,
+        "batched path must send strictly fewer AMs ({} vs {})",
+        bat.am_sent,
+        am.am_sent
+    );
+}
+
+#[test]
+fn batched_path_is_cheaper_in_virtual_time() {
+    let measure = |drive: fn(&Runtime, &[AtomicInt])| {
+        let rt = Runtime::new(RuntimeConfig::cluster(2).without_network_atomics());
+        let ((), span) = rt.run_measured(|| {
+            let cells: Vec<AtomicInt> = (0..CELLS).map(|_| AtomicInt::new_on(1, 0)).collect();
+            drive(&rt, &cells);
+        });
+        span
+    };
+    let per_op_span = measure(per_op);
+    let batched_span = measure(batched);
+    assert!(
+        batched_span * 5 < per_op_span,
+        "batching should win by >5x: {batched_span} vs {per_op_span}"
+    );
+}
+
+#[test]
+fn on_async_overlaps_where_blocking_serializes() {
+    // A fire-and-forget burst completes in less virtual time than the same
+    // burst of blocking `on` calls, and both leave identical memory.
+    let k = 8u64;
+    let blocking = {
+        let rt = Runtime::cluster(2);
+        let (sum, span) = rt.run_measured(|| {
+            let cell = AtomicInt::new_on(1, 0);
+            for _ in 0..k {
+                rt.on(1, || {
+                    cell.fetch_add(1);
+                });
+            }
+            cell.read()
+        });
+        assert_eq!(sum, k);
+        span
+    };
+    let asynced = {
+        let rt = Runtime::cluster(2);
+        let (sum, span) = rt.run_measured(|| {
+            let cell = std::sync::Arc::new(AtomicInt::new_on(1, 0));
+            let pending: Vec<Completion> = (0..k)
+                .map(|_| {
+                    let cell = std::sync::Arc::clone(&cell);
+                    rt.on_async(1, move || {
+                        cell.fetch_add(1);
+                    })
+                })
+                .collect();
+            for c in pending {
+                c.wait();
+            }
+            cell.read()
+        });
+        assert_eq!(sum, k);
+        span
+    };
+    assert!(
+        asynced < blocking,
+        "async burst ({asynced} ns) should overlap service where blocking \
+         calls serialize ({blocking} ns)"
+    );
+}

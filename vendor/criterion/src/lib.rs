@@ -1,0 +1,189 @@
+//! Offline shim for the subset of `criterion` this workspace uses. Bench
+//! targets compile and run against the same API, but measurement is a
+//! simple mean over a fixed number of timed iterations — no statistics,
+//! HTML reports, or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one("", name, 10, &mut f);
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the identifier.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does a single warm-up run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times `sample_size` runs.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` with a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.id, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&self.name, name, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly, timing each run.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        // One untimed warm-up run.
+        black_box(body());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one(group: &str, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {label:<60} (no iterations)");
+    } else {
+        let mean = b.total / b.iters as u32;
+        println!("bench {label:<60} mean {mean:>12.3?} ({} iters)", b.iters);
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("counting", |b| b.iter(|| runs += 1));
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| assert_eq!(x * x, 49))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline shim for the subset of `portable-atomic` this workspace uses:
+//! [`AtomicU128`].
+//!
+//! The real crate uses `cmpxchg16b` where available and a locking fallback
+//! elsewhere; this shim always uses a per-cell spinlock (equivalent to the
+//! real crate's `fallback` feature on targets without 128-bit atomics).
+//! Linearizability is what the simulator's DCAS correctness arguments rely
+//! on, and a lock provides it.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A 128-bit atomic integer supporting double-word compare-and-swap.
+#[derive(Default)]
+pub struct AtomicU128 {
+    lock: AtomicBool,
+    value: UnsafeCell<u128>,
+}
+
+// SAFETY: all access to `value` is serialized through `lock`.
+unsafe impl Send for AtomicU128 {}
+unsafe impl Sync for AtomicU128 {}
+
+impl AtomicU128 {
+    /// Create a new atomic holding `value`.
+    pub const fn new(value: u128) -> AtomicU128 {
+        AtomicU128 {
+            lock: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut u128) -> R) -> R {
+        while self
+            .lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        // SAFETY: the spinlock above grants exclusive access.
+        let r = f(unsafe { &mut *self.value.get() });
+        self.lock.store(false, Ordering::Release);
+        r
+    }
+
+    /// Atomically load the value. The `Ordering` is accepted for API
+    /// compatibility; the lock provides sequential consistency.
+    pub fn load(&self, _order: Ordering) -> u128 {
+        self.with(|v| *v)
+    }
+
+    /// Atomically store `new`.
+    pub fn store(&self, new: u128, _order: Ordering) {
+        self.with(|v| *v = new);
+    }
+
+    /// Atomically replace the value, returning the previous one.
+    pub fn swap(&self, new: u128, _order: Ordering) -> u128 {
+        self.with(|v| std::mem::replace(v, new))
+    }
+
+    /// Atomic 128-bit compare-and-swap: store `new` iff the current value
+    /// equals `current`. `Ok(previous)` on success, `Err(actual)` on
+    /// failure.
+    pub fn compare_exchange(
+        &self,
+        current: u128,
+        new: u128,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u128, u128> {
+        self.with(|v| {
+            if *v == current {
+                *v = new;
+                Ok(current)
+            } else {
+                Err(*v)
+            }
+        })
+    }
+
+    /// Like [`Self::compare_exchange`]; the shim never fails spuriously.
+    pub fn compare_exchange_weak(
+        &self,
+        current: u128,
+        new: u128,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u128, u128> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// Consume the atomic, returning the value.
+    pub fn into_inner(self) -> u128 {
+        self.value.into_inner()
+    }
+}
+
+impl std::fmt::Debug for AtomicU128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicU128")
+            .field(&self.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_success_and_failure() {
+        let a = AtomicU128::new(5);
+        assert_eq!(
+            a.compare_exchange(5, 7, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(5)
+        );
+        assert_eq!(
+            a.compare_exchange(5, 9, Ordering::SeqCst, Ordering::SeqCst),
+            Err(7)
+        );
+        assert_eq!(a.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let a = AtomicU128::new(u128::MAX);
+        assert_eq!(a.swap(1, Ordering::SeqCst), u128::MAX);
+        assert_eq!(a.into_inner(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_linearizable() {
+        let a = std::sync::Arc::new(AtomicU128::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = std::sync::Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let mut cur = a.load(Ordering::SeqCst);
+                        while let Err(now) =
+                            a.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        {
+                            cur = now;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::SeqCst), 8000);
+    }
+}

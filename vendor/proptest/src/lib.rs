@@ -1,0 +1,400 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! `proptest!` macro, `prop_assert*`, `ProptestConfig::with_cases`, and
+//! strategies over integer ranges, tuples, `Vec`s and `Option`s.
+//!
+//! Semantics: each test runs `cases` times with independently generated
+//! inputs from a deterministic per-test stream. A failing case panics with
+//! the case number and generated inputs are *not* shrunk — when a failure
+//! appears, re-running reproduces it (generation is seeded by the case
+//! index), which is enough for debugging in this workspace.
+
+/// Test-runner plumbing: configuration, error type, generator.
+pub mod test_runner {
+    use std::fmt;
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case (produced by `prop_assert!` and friends).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Fail with `reason`.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic value generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct Gen {
+        state: u64,
+    }
+
+    impl Gen {
+        /// A generator seeded for one test case.
+        pub fn from_seed(seed: u64) -> Gen {
+            Gen { state: seed }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and primitive strategies.
+pub mod strategy {
+    use crate::test_runner::Gen;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, gen: &mut Gen) -> Self::Value;
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, gen: &mut Gen) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = ((gen.next_u64() as u128) << 64 | gen.next_u64() as u128) % span;
+                    (self.start as i128 + r as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, gen: &mut Gen) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let r = ((gen.next_u64() as u128) << 64 | gen.next_u64() as u128) % span;
+                    (lo as i128 + r as i128) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, gen: &mut Gen) -> $t {
+                    let span = (<$t>::MAX as i128 - self.start as i128 + 1) as u128;
+                    let r = ((gen.next_u64() as u128) << 64 | gen.next_u64() as u128) % span;
+                    (self.start as i128 + r as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<char> {
+        type Value = char;
+        fn generate(&self, gen: &mut Gen) -> char {
+            let (lo, hi) = (self.start as u32, self.end as u32);
+            assert!(lo < hi, "cannot sample empty range");
+            loop {
+                let r = lo + (gen.next_u64() % (hi - lo) as u64) as u32;
+                if let Some(c) = char::from_u32(r) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, gen: &mut Gen) -> Self::Value {
+                    ($(self.$idx.generate(gen),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Strategy returned by [`crate::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let len = self.size.clone().generate(gen);
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+
+    /// Strategy returned by [`crate::option::of`].
+    pub struct OptionStrategy<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Option<S::Value> {
+            // Match real proptest's default: None with probability ~1/4.
+            if gen.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(gen))
+            }
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::VecStrategy;
+    use std::ops::Range;
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::OptionStrategy;
+
+    /// `Some` of the inner strategy about 3/4 of the time, else `None`.
+    pub fn of<S>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Each function runs `cases` times with fresh
+/// generated inputs; `prop_assert*` failures report the failing case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let proptest_cfg: $crate::test_runner::ProptestConfig = $cfg;
+                // Per-test seed: stable across runs, distinct across tests.
+                let test_seed: u64 = stringify!($name)
+                    .bytes()
+                    .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                    });
+                for case in 0..proptest_cfg.cases as u64 {
+                    let mut proptest_gen =
+                        $crate::test_runner::Gen::from_seed(test_seed.wrapping_add(case));
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                &mut proptest_gen,
+                            );
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            proptest_cfg.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property, failing the case (not the whole
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u8..9, b in 0usize..(1usize << 40)) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b < (1usize << 40));
+        }
+
+        #[test]
+        fn vec_lengths_in_bounds(v in crate::collection::vec(0u8..4, 1..60)) {
+            prop_assert!(!v.is_empty() && v.len() < 60);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn tuples_and_options(pair in (0u8..3, crate::option::of(0u64..10))) {
+            let (tag, opt) = pair;
+            prop_assert!(tag < 3);
+            if let Some(v) = opt {
+                prop_assert!(v < 10, "value {} out of range", v);
+            }
+        }
+
+        #[test]
+        fn question_mark_propagates(x in 0u32..10) {
+            let inner: Result<(), TestCaseError> = (|| {
+                prop_assert_eq!(x, x);
+                prop_assert_ne!(x, x + 1);
+                Ok(())
+            })();
+            inner?;
+        }
+    }
+
+    #[test]
+    fn default_cases_from_env_or_256() {
+        // Whatever the env says, the value must be positive.
+        assert!(ProptestConfig::default().cases > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed at case 0")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
