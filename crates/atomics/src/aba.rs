@@ -144,7 +144,7 @@ impl<T> AtomicAbaObject<T> {
     fn route<R: Send>(&self, op: impl FnOnce(&AtomicU128) -> R + Send) -> R {
         ctx::with_core(|core, _| match engine::remote_dcas_u128(core, self.owner) {
             AtomicPath::CpuLocal => op(&self.cell),
-            AtomicPath::ActiveMessage => core.on(self.owner, move || {
+            AtomicPath::ActiveMessage => core.on_combining(self.owner, move || {
                 engine::handler_dcas_u128(core);
                 op(&self.cell)
             }),
@@ -210,7 +210,7 @@ impl<T> AtomicAbaObject<T> {
                     GlobalPtr::from_bits(self.cell.load(Ordering::SeqCst) as u64)
                 }
                 AtomicPath::ActiveMessage => {
-                    let bits = core.on(self.owner, || {
+                    let bits = core.on_combining(self.owner, || {
                         engine::handler_atomic_u64(core);
                         self.cell.load(Ordering::SeqCst) as u64
                     });

@@ -283,7 +283,7 @@ impl<T> DescriptorAtomicObject<T> {
         ctx::with_core(
             |core, _| match engine::remote_atomic_u64(core, self.owner) {
                 AtomicPath::Nic | AtomicPath::CpuLocal => op(&self.cell),
-                AtomicPath::ActiveMessage => core.on(self.owner, move || {
+                AtomicPath::ActiveMessage => core.on_combining(self.owner, move || {
                     engine::handler_atomic_u64(core);
                     op(&self.cell)
                 }),

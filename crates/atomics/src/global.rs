@@ -94,7 +94,7 @@ impl<T> AtomicObject<T> {
         ctx::with_core(
             |core, _| match engine::remote_atomic_u64(core, self.owner) {
                 AtomicPath::Nic | AtomicPath::CpuLocal => op(cell),
-                AtomicPath::ActiveMessage => core.on(self.owner, move || {
+                AtomicPath::ActiveMessage => core.on_combining(self.owner, move || {
                     engine::handler_atomic_u64(core);
                     op(cell)
                 }),
@@ -107,7 +107,7 @@ impl<T> AtomicObject<T> {
     fn route128<R: Send>(&self, cell: &AtomicU128, op: impl FnOnce(&AtomicU128) -> R + Send) -> R {
         ctx::with_core(|core, _| match engine::remote_dcas_u128(core, self.owner) {
             AtomicPath::CpuLocal => op(cell),
-            AtomicPath::ActiveMessage => core.on(self.owner, move || {
+            AtomicPath::ActiveMessage => core.on_combining(self.owner, move || {
                 engine::handler_dcas_u128(core);
                 op(cell)
             }),

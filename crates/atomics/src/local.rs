@@ -77,7 +77,7 @@ impl<T> LocalAtomicObject<T> {
     fn route<R: Send>(&self, op: impl FnOnce(&AtomicU64) -> R + Send) -> R {
         ctx::with_core(|core, _| match engine::remote_atomic_u64(core, self.home) {
             AtomicPath::Nic | AtomicPath::CpuLocal => op(&self.cell),
-            AtomicPath::ActiveMessage => core.on(self.home, move || {
+            AtomicPath::ActiveMessage => core.on_combining(self.home, move || {
                 engine::handler_atomic_u64(core);
                 op(&self.cell)
             }),

@@ -13,12 +13,34 @@
 //! makespan from the simulator's Aries-class cost model (the number whose
 //! *shape* reproduces the paper); `wall` is host wall-clock time and only
 //! meaningful as an implementation-overhead sanity check.
+//!
+//! Every measured row is also collected and written to
+//! `BENCH_results.json` as `{name, locales, vtime_ns, ns_per_op, mops,
+//! am_count}` so CI (and plotting scripts) can consume the run without
+//! scraping the text output. `locales` is the row's sweep coordinate (the
+//! task count for shared-memory panels, the hop count for A6); `am_count`
+//! is null for series that do not report an AM total.
+
+use std::sync::Mutex;
 
 use pgas_bench::{
-    ablate_election, ablate_local_manager, ablate_privatization, ablate_reclamation_scheme,
-    ablate_scatter, ablate_wide, comm_breakdown, fig3_dist, fig3_shared, fig7_read_only,
-    fig_deletion, runtime, Sample, Variant, LOCALE_SWEEP, TASK_SWEEP,
+    ablate_combining, ablate_election, ablate_local_manager, ablate_privatization,
+    ablate_reclamation_scheme, ablate_scatter, ablate_wide, comm_breakdown, fig3_dist, fig3_shared,
+    fig7_read_only, fig_deletion, runtime, CombineWorkload, Sample, Variant, LOCALE_SWEEP,
+    TASK_SWEEP,
 };
+
+/// One row of `BENCH_results.json`.
+struct Record {
+    name: String,
+    locales: usize,
+    vtime_ns: u64,
+    ns_per_op: f64,
+    mops: f64,
+    am_count: Option<u64>,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
 struct Scale {
     fig3_ops: u64,
@@ -48,6 +70,10 @@ const QUICK: Scale = Scale {
 };
 
 fn row(label: &str, x_name: &str, x: usize, extra: &str, s: Sample) {
+    row_am(label, x_name, x, extra, s, None);
+}
+
+fn row_am(label: &str, x_name: &str, x: usize, extra: &str, s: Sample, am: Option<u64>) {
     println!(
         "{label:<34} {x_name}={x:<3} {extra:<18} vtime={:>12.3} ms  \
          ns/op={:>9.1}  mops={:>8.2}  wall={:>8.1} ms",
@@ -56,6 +82,76 @@ fn row(label: &str, x_name: &str, x: usize, extra: &str, s: Sample) {
         s.mops(),
         s.wall_ns as f64 / 1e6,
     );
+    // The series name is the label plus any *configuration* qualifier;
+    // measured extras (`AMs=123`, `reclaimed=512`, ...) are data, not
+    // identity, and stay out so a series keeps one stable name.
+    let mut name = label.trim().to_string();
+    let extra = extra.trim();
+    let is_measured = extra
+        .split_once('=')
+        .is_some_and(|(_, v)| !v.is_empty() && v.chars().all(|c| c.is_ascii_digit()));
+    if !extra.is_empty() && !is_measured {
+        name.push(' ');
+        name.push_str(extra);
+    }
+    RECORDS.lock().unwrap().push(Record {
+        name,
+        locales: x,
+        vtime_ns: s.vtime_ns,
+        ns_per_op: s.ns_per_op(),
+        mops: s.mops(),
+        am_count: am,
+    });
+}
+
+/// Minimal JSON string escape (the harness only emits ASCII labels, but a
+/// backslash or quote must not corrupt the file).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number, or `null` for non-finite values (infinite mops on a
+/// zero-vtime row must not produce invalid JSON).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_results_json(path: &str) {
+    let recs = RECORDS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in recs.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": {}, \"locales\": {}, \"vtime_ns\": {}, \
+             \"ns_per_op\": {}, \"mops\": {}, \"am_count\": {}}}{}\n",
+            jstr(&r.name),
+            r.locales,
+            r.vtime_ns,
+            jnum(r.ns_per_op),
+            jnum(r.mops),
+            r.am_count.map_or("null".to_string(), |a| a.to_string()),
+            if i + 1 < recs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("results: {path} ({} rows)", recs.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 fn fig3(sc: &Scale) {
@@ -182,16 +278,17 @@ fn ablations(sc: &Scale) {
         for scatter in [true, false] {
             let rt = runtime(locales, true);
             let (s, comm) = ablate_scatter(&rt, sc.ablate_objects, scatter);
-            row(
+            row_am(
                 if scatter {
-                    "scatter=on "
+                    "A1 scatter=on "
                 } else {
-                    "scatter=off"
+                    "A1 scatter=off"
                 },
                 "locales",
                 locales,
                 &format!("AMs={}", comm.am_sent),
                 s,
+                Some(comm.am_sent),
             );
             if locales == 8 {
                 println!("    └─ comm @{locales} locales: {}", comm_breakdown(&comm));
@@ -284,6 +381,27 @@ fn ablations(sc: &Scale) {
             );
         }
     }
+
+    println!("\n=== Ablation A7: remote-op combining ===");
+    for workload in CombineWorkload::ALL {
+        for &locales in &[2usize, 4, 8] {
+            for combining in [false, true] {
+                let (s, comm) = ablate_combining(locales, sc.fig3_ops / 4, workload, combining);
+                row_am(
+                    &format!(
+                        "A7 {} combining={}",
+                        workload.label(),
+                        if combining { "on" } else { "off" }
+                    ),
+                    "locales",
+                    locales,
+                    &format!("AMs={}", comm.am_sent),
+                    s,
+                    Some(comm.am_sent),
+                );
+            }
+        }
+    }
 }
 
 fn main() {
@@ -322,5 +440,6 @@ fn main() {
     if wants("ablations") || args.iter().any(|a| a.starts_with("ablate")) {
         ablations(sc);
     }
+    write_results_json("BENCH_results.json");
     println!("\nharness done in {:.1}s", t0.elapsed().as_secs_f64());
 }

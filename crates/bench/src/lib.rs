@@ -629,6 +629,121 @@ pub fn ablate_wide(locales: usize, total_ops: u64, wide: bool) -> Sample {
     }
 }
 
+/// Which AM-heavy traffic pattern the combining ablation (A7) drives.
+/// All three funnel every remote operation through active messages — the
+/// regime where coalescing concurrent same-destination operations into one
+/// round trip (see `pgas_sim::engine::combine`) can pay off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineWorkload {
+    /// Fig. 3's distributed mixed-ops loop with network atomics disabled
+    /// and every cell owned by the *next* locale: each op is one AM.
+    Fig3DistAm,
+    /// A4's wide-pointer traffic: `AtomicObject` read/write/exchange on
+    /// next-locale cells under forced wide pointers (DCAS via AM).
+    WideDcas,
+    /// Every locale's tasks hammering a single shared `AtomicInt` homed
+    /// on locale 0 — maximum destination contention.
+    SharedAtL0,
+}
+
+impl CombineWorkload {
+    pub const ALL: [CombineWorkload; 3] = [
+        CombineWorkload::Fig3DistAm,
+        CombineWorkload::WideDcas,
+        CombineWorkload::SharedAtL0,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CombineWorkload::Fig3DistAm => "fig3-dist am",
+            CombineWorkload::WideDcas => "wide dcas",
+            CombineWorkload::SharedAtL0 => "shared@L0",
+        }
+    }
+}
+
+/// Ablation A7: remote-operation combining on vs off over the AM-heavy
+/// workloads of [`CombineWorkload`]. Four tasks per locale issue
+/// `total_ops` operations in aggregate; with combining enabled, concurrent
+/// same-destination operations coalesce into single bulk active messages
+/// (strictly fewer `am_sent`, lower virtual time at scale).
+pub fn ablate_combining(
+    locales: usize,
+    total_ops: u64,
+    workload: CombineWorkload,
+    combining: bool,
+) -> (Sample, CommSnapshot) {
+    let cfg = match workload {
+        CombineWorkload::Fig3DistAm | CombineWorkload::SharedAtL0 => {
+            RuntimeConfig::cluster(locales).without_network_atomics()
+        }
+        CombineWorkload::WideDcas => RuntimeConfig::cluster(locales).with_wide_pointers(),
+    }
+    .with_combining(combining);
+    let rt = Runtime::new(cfg);
+    let tasks = 4usize;
+    let n_tasks = (locales * tasks) as u64;
+    let per_task = (total_ops / n_tasks).max(1);
+    let mut out = None;
+    rt.run(|| {
+        let shared = AtomicInt::new_on(0, 0);
+        rt.reset_metrics();
+        let wall = Instant::now();
+        let t0 = vtime::now();
+        rt.coforall_locales(|l| {
+            let owner = ((l as usize + 1) % rt.num_locales()) as LocaleId;
+            rt.coforall_tasks(tasks, |_| match workload {
+                CombineWorkload::Fig3DistAm => {
+                    let cell = AtomicInt::new_on(owner, 0);
+                    for i in 0..per_task {
+                        match i % 4 {
+                            0 => {
+                                let _ = cell.read();
+                            }
+                            1 => cell.write(i),
+                            2 => {
+                                let cur = cell.read();
+                                let _ = cell.compare_and_swap(cur, i);
+                            }
+                            _ => {
+                                let _ = cell.exchange(i);
+                            }
+                        }
+                    }
+                }
+                CombineWorkload::WideDcas => {
+                    let cell = AtomicObject::<u64>::new_on(owner, GlobalPtr::null());
+                    for i in 0..per_task {
+                        match i % 3 {
+                            0 => {
+                                let _ = cell.read();
+                            }
+                            1 => cell.write(GlobalPtr::null()),
+                            _ => {
+                                let _ = cell.exchange(GlobalPtr::null());
+                            }
+                        }
+                    }
+                }
+                CombineWorkload::SharedAtL0 => {
+                    for _ in 0..per_task {
+                        let _ = shared.read();
+                    }
+                }
+            });
+        });
+        out = Some((
+            Sample {
+                vtime_ns: vtime::now() - t0,
+                wall_ns: wall.elapsed().as_nanos() as u64,
+                ops: per_task * n_tasks,
+            },
+            rt.total_comm(),
+        ));
+    });
+    out.unwrap()
+}
+
 /// Build a runtime for a figure measurement.
 pub fn runtime(locales: usize, network_atomics: bool) -> Runtime {
     let cfg = if network_atomics {
@@ -700,6 +815,25 @@ mod tests {
         let (without, comm_without) = ablate_scatter(&rt, 512, false);
         assert!(comm_with.am_sent < comm_without.am_sent / 10);
         assert!(with.vtime_ns < without.vtime_ns);
+    }
+
+    #[test]
+    fn combining_coalesces_am_traffic() {
+        let (on, comm_on) = ablate_combining(4, 2048, CombineWorkload::SharedAtL0, true);
+        let (off, comm_off) = ablate_combining(4, 2048, CombineWorkload::SharedAtL0, false);
+        assert!(comm_on.combined_ops > 0, "combining layer must engage");
+        assert!(
+            comm_on.am_sent < comm_off.am_sent,
+            "combining must coalesce AMs: {} vs {}",
+            comm_on.am_sent,
+            comm_off.am_sent
+        );
+        assert!(
+            on.vtime_ns < off.vtime_ns,
+            "combining must be cheaper in virtual time: {} vs {}",
+            on.vtime_ns,
+            off.vtime_ns
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use pgas_atomics::AtomicInt;
+use pgas_sim::engine::Batcher;
 use pgas_sim::{ctx, Erased, GlobalPtr, LocaleId, Privatized, RuntimeCore, RuntimeHandle};
 
 use crate::limbo::{LimboList, NodePool};
@@ -252,28 +253,32 @@ impl EpochManager {
 /// owning locale, and free each group — one bulk active message per remote
 /// destination (or one AM per object when `use_scatter` is off).
 fn reclaim_list(core: &RuntimeCore, inst: &LocaleInstance, epoch: u64, use_scatter: bool) -> u64 {
-    let num_locales = core.num_locales();
-    // Scatter list: sort objects by the locale they are allocated on.
-    let mut buckets: Vec<Vec<Erased>> = (0..num_locales).map(|_| Vec::new()).collect();
-    let n = inst.limbo[limbo_index(epoch)]
-        .take()
-        .drain_into(&inst.pool, |e| buckets[e.owner() as usize].push(e));
     if use_scatter {
-        for (dest, batch) in buckets.into_iter().enumerate() {
-            // SAFETY: the epoch protocol guarantees no task still holds a
-            // reference to anything in a two-advances-old limbo list (or
-            // the caller guaranteed quiescence for clear()).
-            unsafe { pgas_sim::free_erased_batch(core, dest as LocaleId, batch) };
-        }
+        // The scatter list is a `Batcher` over erased objects: unbounded
+        // per-destination buffers with one explicit flush at the end, so
+        // each destination still receives exactly one bulk-free active
+        // message per drained limbo list.
+        let src = pgas_sim::here();
+        let mut scatter = Batcher::new(core, usize::MAX, move |dest, batch: Vec<Erased>| {
+            // SAFETY: the epoch protocol guarantees no task still holds
+            // a reference to anything in a two-advances-old limbo list
+            // (or the caller guaranteed quiescence for clear()); the
+            // handler runs on `dest`, where every object in the batch
+            // lives.
+            unsafe { pgas_sim::free_erased_local_batch(core, batch, dest != src) };
+        });
+        let n = inst.limbo[limbo_index(epoch)]
+            .take()
+            .drain_into(&inst.pool, |e| scatter.aggregate(e.owner(), e));
+        scatter.flush_all();
+        n as u64
     } else {
-        for batch in buckets {
-            for e in batch {
-                // SAFETY: as above.
-                unsafe { pgas_sim::free_erased(core, e) };
-            }
-        }
+        let n = inst.limbo[limbo_index(epoch)]
+            .take()
+            // SAFETY: as above.
+            .drain_into(&inst.pool, |e| unsafe { pgas_sim::free_erased(core, e) });
+        n as u64
     }
-    n as u64
 }
 
 impl Default for EpochManager {

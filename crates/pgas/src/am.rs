@@ -47,6 +47,43 @@ pub(crate) enum AmMsg {
 /// which it finished.
 pub(crate) type Reply = (std::thread::Result<()>, u64);
 
+thread_local! {
+    /// Reusable one-shot reply channels. A remote call consumes exactly one
+    /// message per pair, so a drained pair is as good as new — recycling
+    /// avoids a channel allocation on every blocking remote operation (the
+    /// hottest allocation in the AM fallback path).
+    static REPLY_POOL: std::cell::RefCell<Vec<(Sender<Reply>, Receiver<Reply>)>> =
+        std::cell::RefCell::new(Vec::new());
+}
+
+/// A task rarely has more than a couple of calls in flight; keep the pool
+/// tiny so abandoned bursts don't pin memory.
+const REPLY_POOL_CAP: usize = 4;
+
+/// Take a reply channel from the calling thread's pool, or allocate one.
+fn pooled_reply_channel() -> (Sender<Reply>, Receiver<Reply>) {
+    REPLY_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(|| bounded(1))
+}
+
+/// Return a reply channel to the pool once its single message has been
+/// consumed. Pairs that might still carry (or later receive) a message —
+/// e.g. from an abandoned `Completion` — must simply be dropped instead.
+pub(crate) fn recycle_reply_channel(tx: Sender<Reply>, rx: Receiver<Reply>) {
+    // Only a provably-drained pair is reusable; the channel has no
+    // emptiness query, so probe with `try_recv`.
+    if rx.try_recv().is_ok() {
+        return;
+    }
+    REPLY_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < REPLY_POOL_CAP {
+            p.push((tx, rx));
+        }
+    });
+}
+
 /// The body of a progress thread for locale `locale`.
 ///
 /// Holds its own `Arc` to the runtime so the context pointer stays valid
@@ -102,13 +139,14 @@ pub(crate) fn remote_call(
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let send_vtime = vtime::now() + cfg.am_wire_ns;
 
-    let (tx, rx): (Sender<Reply>, Receiver<Reply>) = bounded(1);
+    let (tx, rx) = pooled_reply_channel();
+    let reply_tx = tx.clone();
     let thunk: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
         let out = catch_unwind(AssertUnwindSafe(f));
         let end = vtime::now();
         // The receiver may have vanished only if the sending task panicked,
         // in which case nobody cares about the reply.
-        let _ = tx.send((out, end));
+        let _ = reply_tx.send((out, end));
     });
     // SAFETY: lifetime erasure. The thunk may borrow the caller's stack,
     // but this function blocks on `rx.recv()` until the thunk has finished
@@ -121,6 +159,8 @@ pub(crate) fn remote_call(
     let (out, end) = rx
         .recv()
         .expect("progress thread terminated while a remote call was pending");
+    // The one message is consumed; the pair is pristine again.
+    recycle_reply_channel(tx, rx);
     vtime::advance_to(end + cfg.am_wire_ns);
     if let Err(payload) = out {
         resume_unwind(payload);
@@ -128,14 +168,16 @@ pub(crate) fn remote_call(
 }
 
 /// Ship `f` to locale `dest` without waiting: the sender's clock does not
-/// advance, and the returned receiver yields the handler's completion
-/// status once it has run. Must not be called when `dest == here()`.
+/// advance, and the returned channel pair yields the handler's completion
+/// status once it has run (the sender half is returned so the consumer can
+/// hand the drained pair back to [`recycle_reply_channel`]). Must not be
+/// called when `dest == here()`.
 pub(crate) fn remote_post(
     core: &RuntimeCore,
     src: LocaleId,
     dest: LocaleId,
     f: Box<dyn FnOnce() + Send + 'static>,
-) -> Receiver<Reply> {
+) -> (Sender<Reply>, Receiver<Reply>) {
     debug_assert_ne!(src, dest, "remote_post requires a remote destination");
     let cfg = &core.config.network;
     core.locale(src)
@@ -144,14 +186,15 @@ pub(crate) fn remote_post(
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let send_vtime = vtime::now() + cfg.am_wire_ns;
 
-    let (tx, rx): (Sender<Reply>, Receiver<Reply>) = bounded(1);
+    let (tx, rx) = pooled_reply_channel();
+    let reply_tx = tx.clone();
     let thunk: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
         let out = catch_unwind(AssertUnwindSafe(f));
         let end = vtime::now();
         // Nobody may be waiting (fire-and-forget): a dropped Completion
         // disconnects the channel, which is fine.
-        let _ = tx.send((out, end));
+        let _ = reply_tx.send((out, end));
     });
     core.send_am(dest, AmMsg::Call { thunk, send_vtime });
-    rx
+    (tx, rx)
 }

@@ -106,6 +106,16 @@ pub fn charge_handler_dcas(core: &RuntimeCore) {
     vtime::charge(core.config.network.cpu_dcas_ns);
 }
 
+/// Charge the per-item dispatch cost of one operation executing inside a
+/// *combined* active-message handler (see [`crate::engine::combine`]). The
+/// wire and the fixed `am_handler_ns` dispatch are charged once per combined
+/// batch by the AM layer; this is the marginal cost of each extra rider. The
+/// operation's own body (e.g. [`charge_handler_atomic`]) is charged
+/// separately by the rider itself.
+pub fn charge_combine_item(core: &RuntimeCore) {
+    vtime::charge(core.config.network.combine_item_ns);
+}
+
 fn rma_cost(core: &RuntimeCore, bytes: usize) -> u64 {
     let net = &core.config.network;
     net.rma_ns + (bytes as u64 * net.rma_ns_per_kib) / 1024

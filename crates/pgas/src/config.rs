@@ -60,6 +60,11 @@ pub struct NetworkConfig {
     /// Cost of one heap allocation or deallocation performed inside an
     /// active-message handler (remote alloc/free).
     pub remote_heap_op_ns: u64,
+    /// Per-item dispatch cost inside a *combined* active-message handler
+    /// (see [`crate::engine::combine`]): each operation that rode a
+    /// combined batch pays this on top of its own body cost, while the
+    /// wire and `am_handler_ns` are paid once per batch.
+    pub combine_item_ns: u64,
 }
 
 impl Default for NetworkConfig {
@@ -74,6 +79,7 @@ impl Default for NetworkConfig {
             rma_ns: 850,
             rma_ns_per_kib: 60,
             remote_heap_op_ns: 120,
+            combine_item_ns: 150,
         }
     }
 }
@@ -92,6 +98,7 @@ impl NetworkConfig {
             rma_ns: 0,
             rma_ns_per_kib: 0,
             remote_heap_op_ns: 0,
+            combine_item_ns: 0,
         }
     }
 }
@@ -111,6 +118,16 @@ pub struct RuntimeConfig {
     pub network: NetworkConfig,
     /// Pointer representation (see [`PointerMode`]).
     pub pointer_mode: PointerMode,
+    /// Enable remote-operation *combining* (flat combining over the AM
+    /// fallback path): concurrent same-destination remote atomics and
+    /// deferred frees issued by tasks on one locale are coalesced into a
+    /// single bulk active message by an elected combiner task (see
+    /// [`crate::engine::combine`]). Off by default so per-op communication
+    /// counts stay exact unless explicitly opted in.
+    pub combining: bool,
+    /// Maximum operations a single combined active message may carry;
+    /// larger drains are shipped as consecutive chunks in announce order.
+    pub combine_max_batch: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -121,6 +138,8 @@ impl Default for RuntimeConfig {
             tasks_per_locale: 4,
             network: NetworkConfig::default(),
             pointer_mode: PointerMode::Compressed,
+            combining: false,
+            combine_max_batch: 64,
         }
     }
 }
@@ -186,6 +205,20 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable or disable remote-operation combining (see
+    /// [`Self::combining`]).
+    pub fn with_combining(mut self, on: bool) -> Self {
+        self.combining = on;
+        self
+    }
+
+    /// Override the maximum size of a combined active message (see
+    /// [`Self::combine_max_batch`]).
+    pub fn with_combine_max_batch(mut self, max: usize) -> Self {
+        self.combine_max_batch = max;
+        self
+    }
+
     /// Validate invariants, panicking with a descriptive message on
     /// misconfiguration.
     pub(crate) fn validate(&self) {
@@ -204,6 +237,10 @@ impl RuntimeConfig {
         assert!(
             self.tasks_per_locale >= 1,
             "need at least one task per locale"
+        );
+        assert!(
+            self.combine_max_batch >= 1,
+            "combined messages must carry at least one operation"
         );
     }
 }

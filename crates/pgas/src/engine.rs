@@ -28,8 +28,15 @@
 //!   paper's scatter list) on top of it.
 //!
 //! Most code reaches the engine through [`crate::runtime::RuntimeCore`]
-//! convenience methods (`on`, `on_async`) or the free-function façade at
-//! the bottom of this module.
+//! convenience methods (`on`, `on_async`, `on_combining`) or the
+//! free-function façade at the bottom of this module.
+//!
+//! A fourth family, **combining** ([`CommEngine::on_combined`], backed by
+//! the [`combine`] submodule), coalesces concurrent same-destination
+//! operations from different tasks into single bulk active messages when
+//! [`crate::config::RuntimeConfig::combining`] is enabled.
+
+pub mod combine;
 
 use std::panic::resume_unwind;
 
@@ -100,6 +107,15 @@ pub trait CommEngine: Send + Sync {
         f: Box<dyn FnOnce() + Send + 'static>,
     ) -> Completion;
 
+    /// Like [`Self::on`], but *combinable*: when the runtime's `combining`
+    /// toggle is set, concurrent calls from different tasks on this locale
+    /// toward the same `dest` may be coalesced into one bulk active
+    /// message by an elected combiner task (see [`combine`]). Still blocks
+    /// until `f` has executed on `dest`, still runs inline when the caller
+    /// is already there, and falls back to a plain [`Self::on`] when
+    /// combining is disabled.
+    fn on_combined<'a>(&self, core: &RuntimeCore, dest: LocaleId, f: Box<dyn FnOnce() + Send + 'a>);
+
     /// Ship one *bulk* active message carrying `items` aggregated
     /// operations to `dest` and block until the handler has run. Counted as
     /// one `am_sent` plus one `am_batches` (with `items` added to
@@ -165,10 +181,26 @@ impl CommEngine for SimEngine {
             f();
             return Completion::ready();
         }
-        let rx = am::remote_post(core, src, dest, f);
+        let (tx, rx) = am::remote_post(core, src, dest, f);
         Completion {
-            rx: Some((rx, core.config.network.am_wire_ns)),
+            rx: Some((tx, rx, core.config.network.am_wire_ns)),
             ready: None,
+        }
+    }
+
+    fn on_combined<'a>(
+        &self,
+        core: &RuntimeCore,
+        dest: LocaleId,
+        f: Box<dyn FnOnce() + Send + 'a>,
+    ) {
+        let src = ctx::here();
+        if src == dest {
+            f();
+        } else if core.config.combining {
+            combine::submit(core, src, dest, f);
+        } else {
+            am::remote_call(core, src, dest, f);
         }
     }
 
@@ -200,9 +232,15 @@ impl CommEngine for SimEngine {
 /// propagates a handler panic.
 #[must_use = "dropping a Completion abandons the result; call wait() to join"]
 pub struct Completion {
-    /// `(reply channel, am_wire_ns)`; `None` once consumed or when the call
-    /// ran inline.
-    rx: Option<(crossbeam_channel::Receiver<am::Reply>, u64)>,
+    /// `(pooled reply sender, reply channel, am_wire_ns)`; `None` once
+    /// consumed or when the call ran inline. The sender half is only kept
+    /// so a drained pair can go back to the reply-channel pool on
+    /// [`Completion::wait`].
+    rx: Option<(
+        crossbeam_channel::Sender<am::Reply>,
+        crossbeam_channel::Receiver<am::Reply>,
+        u64,
+    )>,
     /// A reply already taken off the channel by [`Completion::completed`].
     ready: Option<am::Reply>,
 }
@@ -223,7 +261,7 @@ impl Completion {
         }
         match &self.rx {
             None => true,
-            Some((rx, _)) => match rx.try_recv() {
+            Some((_, rx, _)) => match rx.try_recv() {
                 Ok(reply) => {
                     self.ready = Some(reply);
                     true
@@ -237,7 +275,7 @@ impl Completion {
     /// to the completion time plus the reply wire latency, and propagate
     /// any handler panic.
     pub fn wait(mut self) {
-        let Some((rx, wire_ns)) = self.rx.take() else {
+        let Some((tx, rx, wire_ns)) = self.rx.take() else {
             return;
         };
         let (out, end) = match self.ready.take() {
@@ -246,6 +284,8 @@ impl Completion {
                 .recv()
                 .expect("progress thread terminated while an async call was pending"),
         };
+        // The single reply is consumed either way; the pair is pristine.
+        am::recycle_reply_channel(tx, rx);
         vtime::advance_to(end + wire_ns);
         if let Err(payload) = out {
             resume_unwind(payload);
@@ -277,9 +317,24 @@ impl std::fmt::Debug for Completion {
 /// service and must be thread-safe. Buffers auto-flush when they reach
 /// capacity and on drop (the epoch/phase boundary); call
 /// [`Batcher::flush`] to force remote effects before relying on them.
+///
+/// Two *adaptive* controls bound latency and memory beyond the fixed
+/// per-destination capacity:
+///
+/// * A **high watermark** ([`Batcher::with_high_watermark`]) caps the
+///   *total* buffered items across all destinations — when reached, the
+///   fullest buffer is flushed. This bounds memory for skewed or
+///   many-destination workloads where no single buffer fills.
+/// * A **flush-on-idle hook** ([`Batcher::poll_idle`]) for callers with an
+///   idle loop: the first poll with no intervening [`Batcher::aggregate`]
+///   flushes everything, so stragglers never strand waiting for a capacity
+///   trigger.
 pub struct Batcher<'h, T: Send> {
     buffers: Vec<Vec<T>>,
     capacity: usize,
+    high_watermark: Option<usize>,
+    pending_count: usize,
+    appended_since_poll: bool,
     handler: Box<dyn Fn(LocaleId, Vec<T>) + Send + Sync + 'h>,
     flushes: u64,
     items: u64,
@@ -297,20 +352,69 @@ impl<'h, T: Send> Batcher<'h, T> {
         Batcher {
             buffers: (0..core.num_locales()).map(|_| Vec::new()).collect(),
             capacity,
+            high_watermark: None,
+            pending_count: 0,
+            appended_since_poll: false,
             handler: Box::new(handler),
             flushes: 0,
             items: 0,
         }
     }
 
+    /// Cap the *total* number of items buffered across all destinations:
+    /// when an [`Batcher::aggregate`] would exceed `watermark`, the fullest
+    /// buffer is flushed first. Bounds memory when items spread over many
+    /// destinations without any single buffer reaching capacity.
+    pub fn with_high_watermark(mut self, watermark: usize) -> Self {
+        assert!(watermark >= 1, "high watermark must be >= 1");
+        self.high_watermark = Some(watermark);
+        self
+    }
+
     /// Buffer `item` for `dest`, flushing that destination's buffer if it
-    /// reaches capacity.
+    /// reaches capacity (and the fullest buffer if the total crosses the
+    /// high watermark).
     pub fn aggregate(&mut self, dest: LocaleId, item: T) {
         let buf = &mut self.buffers[dest as usize];
         buf.push(item);
         self.items += 1;
+        self.pending_count += 1;
+        self.appended_since_poll = true;
         if buf.len() >= self.capacity {
             self.flush_one(dest);
+        } else if let Some(hw) = self.high_watermark {
+            if self.pending_count >= hw {
+                self.flush_fullest();
+            }
+        }
+    }
+
+    /// Flush the destination currently holding the most buffered items
+    /// (no-op when nothing is pending).
+    fn flush_fullest(&mut self) {
+        if let Some(dest) = (0..self.buffers.len())
+            .max_by_key(|&d| self.buffers[d].len())
+            .filter(|&d| !self.buffers[d].is_empty())
+        {
+            self.flush_one(dest as LocaleId);
+        }
+    }
+
+    /// Idle hook for adaptive flushing: call this from an idle or polling
+    /// loop. The first call with no [`Batcher::aggregate`] since the
+    /// previous call flushes all pending items (returning `true`); a call
+    /// that observed fresh traffic just arms the idle detector and returns
+    /// `false`. Items therefore never strand waiting for a capacity
+    /// trigger, without flushing eagerly while the producer is still hot.
+    pub fn poll_idle(&mut self) -> bool {
+        if self.appended_since_poll {
+            self.appended_since_poll = false;
+            false
+        } else if self.pending_count > 0 {
+            self.flush();
+            true
+        } else {
+            false
         }
     }
 
@@ -323,6 +427,7 @@ impl<'h, T: Send> Batcher<'h, T> {
             return;
         }
         self.flushes += 1;
+        self.pending_count -= batch.len();
         ctx::with_core(|core, here| {
             if dest == here {
                 // Local batch: apply directly, no communication.
@@ -373,7 +478,11 @@ impl<'h, T: Send> Batcher<'h, T> {
 
     /// Items currently buffered (not yet flushed).
     pub fn pending(&self) -> usize {
-        self.buffers.iter().map(Vec::len).sum()
+        debug_assert_eq!(
+            self.pending_count,
+            self.buffers.iter().map(Vec::len).sum::<usize>()
+        );
+        self.pending_count
     }
 }
 
@@ -638,6 +747,42 @@ mod tests {
             agg.flush();
             assert_eq!(agg.pending(), 0);
             assert_eq!(agg.flushes(), 4);
+        });
+    }
+
+    #[test]
+    fn high_watermark_bounds_total_pending() {
+        let rt = Runtime::new(RuntimeConfig::zero_latency(4));
+        rt.run(|| {
+            let mut agg = Batcher::new(&rt, 1024, |_, _: Vec<u64>| {}).with_high_watermark(8);
+            for i in 0..100u64 {
+                agg.aggregate((i % 4) as LocaleId, i);
+                assert!(agg.pending() <= 8, "watermark must bound buffered items");
+            }
+            assert_eq!(agg.items_aggregated(), 100);
+            agg.flush();
+            assert_eq!(agg.pending(), 0);
+        });
+    }
+
+    #[test]
+    fn poll_idle_flushes_stragglers() {
+        let rt = Runtime::new(RuntimeConfig::zero_latency(2));
+        rt.run(|| {
+            let sink = AtomicU64::new(0);
+            let mut agg = Batcher::new(&rt, 64, |_, b: Vec<u64>| {
+                sink.fetch_add(b.len() as u64, Ordering::Relaxed);
+            });
+            agg.aggregate(1, 7);
+            // First poll observed fresh traffic: arm the detector only.
+            assert!(!agg.poll_idle());
+            assert_eq!(sink.load(Ordering::Relaxed), 0);
+            // Second poll with no traffic in between: flush everything.
+            assert!(agg.poll_idle());
+            assert_eq!(sink.load(Ordering::Relaxed), 1);
+            assert_eq!(agg.pending(), 0);
+            // Nothing pending: no-op.
+            assert!(!agg.poll_idle());
         });
     }
 

@@ -137,7 +137,9 @@ pub unsafe fn free<T: Send>(core: &RuntimeCore, ptr: GlobalPtr<T>) {
 
 /// Free one erased object, routing an active message when it is remote —
 /// the naive per-object path the scatter list replaces (kept for the
-/// ablation benchmark).
+/// ablation benchmark). The remote message is *combinable*: with
+/// [`crate::config::RuntimeConfig::combining`] enabled, concurrent deferred
+/// frees toward one owner share a single bulk active message.
 ///
 /// # Safety
 /// As for [`Erased::run_drop`].
@@ -147,12 +149,44 @@ pub unsafe fn free_erased(core: &RuntimeCore, e: Erased) {
     if owner == here {
         unsafe { e.run_drop(core) };
     } else {
-        core.on(owner, move || {
+        core.on_combining(owner, move || {
             let loc = core.locale(owner);
             loc.stats.remote_frees.fetch_add(1, Ordering::Relaxed);
             vtime::charge(core.config.network.remote_heap_op_ns);
             unsafe { e.run_drop(core) };
         });
+    }
+}
+
+/// Free a batch of erased objects that already reside on the *current*
+/// locale, with bulk accounting — the handler-side half of a scatter flush
+/// (what a [`crate::engine::Batcher`] over [`Erased`] items calls in its
+/// destination handler). `arrived_remotely` says whether the batch crossed
+/// the wire to get here; remote arrivals count one `bulk_frees`.
+///
+/// # Safety
+/// Every entry must satisfy the conditions of [`Erased::run_drop`] and
+/// actually live on the current locale.
+pub unsafe fn free_erased_local_batch(
+    core: &RuntimeCore,
+    batch: Vec<Erased>,
+    arrived_remotely: bool,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let here = ctx::here();
+    debug_assert!(batch.iter().all(|e| e.owner() == here));
+    let loc = core.locale(here);
+    let n = batch.len() as u64;
+    if arrived_remotely {
+        loc.stats.bulk_frees.fetch_add(1, Ordering::Relaxed);
+    }
+    loc.stats.bulk_freed_objects.fetch_add(n, Ordering::Relaxed);
+    vtime::charge(core.config.network.remote_heap_op_ns * n);
+    for e in batch {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { e.run_drop(core) };
     }
 }
 
@@ -171,29 +205,18 @@ pub unsafe fn free_erased_batch(core: &RuntimeCore, owner: LocaleId, batch: Vec<
     debug_assert!(batch.iter().all(|e| e.owner() == owner));
     let here = ctx::here();
     let items = batch.len() as u64;
-    let free_all = move || {
-        let loc = core.locale(owner);
-        let n = batch.len() as u64;
-        loc.stats.bulk_freed_objects.fetch_add(n, Ordering::Relaxed);
-        vtime::charge(core.config.network.remote_heap_op_ns * n);
-        for e in batch {
-            // SAFETY: forwarded from the caller's contract.
-            unsafe { e.run_drop(core) };
-        }
-    };
     if owner == here {
-        free_all();
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { free_erased_local_batch(core, batch, false) };
     } else {
         core.engine().bulk_on(
             core,
             owner,
             items,
-            Box::new(|| {
-                core.locale(owner)
-                    .stats
-                    .bulk_frees
-                    .fetch_add(1, Ordering::Relaxed);
-                free_all();
+            Box::new(move || {
+                // SAFETY: forwarded from the caller's contract; we now run
+                // on `owner`.
+                unsafe { free_erased_local_batch(core, batch, true) };
             }),
         );
     }

@@ -50,7 +50,6 @@
 
 #![warn(missing_docs)]
 
-pub mod aggregate;
 pub(crate) mod am;
 pub mod array;
 pub mod barrier;
@@ -67,16 +66,22 @@ pub mod runtime;
 pub mod stats;
 pub mod vtime;
 
-pub use aggregate::Aggregator;
 pub use array::{Dist, DistArray};
 pub use barrier::DistBarrier;
 pub use config::{NetworkConfig, PointerMode, RuntimeConfig};
 pub use ctx::{current_runtime, here, try_here};
 pub use engine::{AtomicPath, Batcher, CommEngine, Completion};
 pub use globalptr::{GlobalPtr, LocaleId, WideGlobalPtr};
-pub use heap::{alloc_local, alloc_on, free, free_erased, free_erased_batch, Erased};
+pub use heap::{
+    alloc_local, alloc_on, free, free_erased, free_erased_batch, free_erased_local_batch, Erased,
+};
 pub use locale::Locale;
 pub use privatized::Privatized;
 pub use reduce::{all_locales, any_locales, max_locales, min_locales, reduce_locales, sum_locales};
 pub use runtime::{Runtime, RuntimeCore, RuntimeHandle};
 pub use stats::{CommSnapshot, CommStats, HeapStats};
+
+/// Former name of [`engine::Batcher`]; the `aggregate` shim module is gone.
+/// Kept as a deprecated alias for one release.
+#[deprecated(note = "use `Batcher` (engine::Batcher) instead")]
+pub type Aggregator<'h, T> = engine::Batcher<'h, T>;

@@ -1,10 +1,14 @@
 //! Per-locale state: AM queue, statistics, heap accounting, and the
 //! progress-service virtual clocks (server slots).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crossbeam_channel::Sender;
 use parking_lot::Mutex;
 
 use crate::am::AmMsg;
+use crate::engine::combine::CombineHub;
 use crate::globalptr::LocaleId;
 use crate::stats::{CommStats, HeapStats};
 
@@ -24,8 +28,15 @@ pub(crate) struct ServerSlots {
 }
 
 struct SlotState {
+    /// Last release time of each slot; the authoritative clock value (kept
+    /// for `max_clock` and for validating heap entries in debug builds).
     clocks: Vec<u64>,
     busy: Vec<bool>,
+    /// Min-heap of the *free* slots keyed by `(clock, index)`, so `acquire`
+    /// is O(log n) instead of an O(n) scan. A slot's clock only changes at
+    /// `release`, which is also the only point that re-inserts it — heap
+    /// entries therefore never go stale.
+    free: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl ServerSlots {
@@ -34,33 +45,31 @@ impl ServerSlots {
             state: Mutex::new(SlotState {
                 clocks: vec![0; n],
                 busy: vec![false; n],
+                free: (0..n).map(|i| Reverse((0, i))).collect(),
             }),
         }
     }
 
     /// Claim the free slot with the earliest clock, returning `(slot index,
     /// clock value)`. A free slot always exists: there are exactly as many
-    /// progress threads as slots and each thread holds at most one.
+    /// progress threads as slots and each thread holds at most one. Ties
+    /// resolve to the lowest slot index (the heap key orders by clock, then
+    /// index).
     pub(crate) fn acquire(&self) -> (usize, u64) {
         let mut st = self.state.lock();
-        let mut best: Option<usize> = None;
-        for i in 0..st.busy.len() {
-            if !st.busy[i]
-                && match best {
-                    None => true,
-                    Some(b) => st.clocks[i] < st.clocks[b],
-                }
-            {
-                best = Some(i);
-            }
-        }
-        let i = best.expect("no free progress-service slot (more handlers than threads?)");
+        let Reverse((clock, i)) = st
+            .free
+            .pop()
+            .expect("no free progress-service slot (more handlers than threads?)");
+        debug_assert!(!st.busy[i]);
+        debug_assert_eq!(clock, st.clocks[i], "free-slot heap entry went stale");
         st.busy[i] = true;
-        (i, st.clocks[i])
+        (i, clock)
     }
 
     /// Release a slot, advancing its clock to `until` (the virtual time at
-    /// which the server becomes free again).
+    /// which the server becomes free again) and returning it to the free
+    /// heap.
     pub(crate) fn release(&self, slot: usize, until: u64) {
         let mut st = self.state.lock();
         debug_assert!(st.busy[slot], "releasing a slot that was not acquired");
@@ -68,6 +77,8 @@ impl ServerSlots {
         if st.clocks[slot] < until {
             st.clocks[slot] = until;
         }
+        let key = st.clocks[slot];
+        st.free.push(Reverse((key, slot)));
     }
 
     fn max_clock(&self) -> u64 {
@@ -79,6 +90,15 @@ impl ServerSlots {
         for c in st.clocks.iter_mut() {
             *c = 0;
         }
+        st.free.clear();
+        let rebuilt: BinaryHeap<_> = st
+            .busy
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| !b)
+            .map(|(i, _)| Reverse((0, i)))
+            .collect();
+        st.free = rebuilt;
     }
 }
 
@@ -94,17 +114,27 @@ pub struct Locale {
     /// Server slots of this locale's AM service (one per progress thread;
     /// they model the serialization of active-message handling).
     pub(crate) server: ServerSlots,
+    /// Per-destination publication lists for remote-operation combining
+    /// (see [`crate::engine::combine`]); announce/election state for tasks
+    /// *on this locale* issuing combinable remote operations.
+    pub(crate) combine: CombineHub,
     /// Submission side of the AM queue; all progress threads share it.
     pub(crate) am_tx: Sender<AmMsg>,
 }
 
 impl Locale {
-    pub(crate) fn new(id: LocaleId, progress_threads: usize, am_tx: Sender<AmMsg>) -> Self {
+    pub(crate) fn new(
+        id: LocaleId,
+        progress_threads: usize,
+        num_locales: usize,
+        am_tx: Sender<AmMsg>,
+    ) -> Self {
         Locale {
             id,
             stats: CommStats::default(),
             heap: HeapStats::default(),
             server: ServerSlots::new(progress_threads),
+            combine: CombineHub::new(num_locales),
             am_tx,
         }
     }
@@ -168,6 +198,55 @@ mod tests {
         assert_eq!(t_c, 10_000);
         s.release(b, 1);
         s.release(c, 10_001);
+    }
+
+    #[test]
+    fn heap_matches_linear_reference_under_churn() {
+        // Drive a pseudo-random acquire/release sequence and check the free
+        // heap keeps returning the earliest-free slot (lowest index on
+        // ties), exactly like the old linear scan.
+        let n = 4;
+        let s = ServerSlots::new(n);
+        let mut clocks = vec![0u64; n];
+        let mut busy = vec![false; n];
+        let mut held: Vec<usize> = Vec::new();
+        let mut seed = 0x9e37_79b9_u64;
+        for _ in 0..200 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if held.len() < n && (held.is_empty() || seed.is_multiple_of(2)) {
+                let (i, t) = s.acquire();
+                let expect = (0..n)
+                    .filter(|&j| !busy[j])
+                    .min_by_key(|&j| (clocks[j], j))
+                    .unwrap();
+                assert_eq!(i, expect);
+                assert_eq!(t, clocks[i]);
+                busy[i] = true;
+                held.push(i);
+            } else {
+                let i = held.swap_remove((seed % held.len() as u64) as usize);
+                let until = clocks[i] + (seed >> 32) % 500;
+                s.release(i, until);
+                busy[i] = false;
+                clocks[i] = clocks[i].max(until);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_all_slots_to_zero() {
+        let s = ServerSlots::new(2);
+        let (a, _) = s.acquire();
+        s.release(a, 777);
+        s.reset();
+        let (x, tx) = s.acquire();
+        let (y, ty) = s.acquire();
+        assert_ne!(x, y);
+        assert_eq!((tx, ty), (0, 0));
+        s.release(x, 1);
+        s.release(y, 2);
     }
 
     #[test]

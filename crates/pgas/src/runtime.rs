@@ -100,7 +100,12 @@ impl Runtime {
                 .map(|id| {
                     let (tx, rx) = unbounded();
                     receivers.push(rx);
-                    Locale::new(id as LocaleId, config.progress_threads, tx)
+                    Locale::new(
+                        id as LocaleId,
+                        config.progress_threads,
+                        config.num_locales,
+                        tx,
+                    )
                 })
                 .collect();
             RuntimeCore {
@@ -261,6 +266,40 @@ impl RuntimeCore {
             );
         }
         slot.expect("remote closure did not run")
+    }
+
+    /// Like [`Self::on`], but *combinable*: when
+    /// [`RuntimeConfig::combining`] is enabled and several tasks on this
+    /// locale concurrently target the same destination, their closures ride
+    /// a single bulk active message shipped by an elected combiner task
+    /// (see [`crate::engine::combine`]); otherwise this is exactly a
+    /// blocking [`Self::on`]. Still blocks until `f` has run on `dest` and
+    /// still executes inline when already there, so semantics are
+    /// unchanged — only the message count and virtual time differ.
+    pub fn on_combining<R, F>(&self, dest: LocaleId, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        assert!(
+            (dest as usize) < self.locales.len(),
+            "locale {dest} out of range (runtime has {} locales)",
+            self.locales.len()
+        );
+        // Same stack-slot pattern as `on`: the engine's blocking contract
+        // guarantees the slot is written before `on_combined` returns.
+        let mut slot: Option<R> = None;
+        {
+            let slot_ref = &mut slot;
+            self.engine.on_combined(
+                self,
+                dest,
+                Box::new(move || {
+                    *slot_ref = Some(f());
+                }),
+            );
+        }
+        slot.expect("combined remote closure did not run")
     }
 
     /// Fire-and-forget variant of [`Self::on`]: ship `f` to `dest` and

@@ -84,6 +84,13 @@ counters! {
     am_batches,
     /// Individual operations carried inside batched active messages.
     am_batch_items,
+    /// Combined active messages shipped by the combining layer
+    /// ([`crate::engine::combine`]): each carries the pending operations of
+    /// several tasks toward one destination and is also counted once in
+    /// `am_sent`, `am_batches`.
+    combines,
+    /// Individual operations that rode combined active messages.
+    combined_ops,
     /// One-sided PUT operations issued from this locale.
     puts,
     /// One-sided GET operations issued from this locale.

@@ -279,7 +279,9 @@ where
     /// [`pgas_sim::Batcher`]) instead of paying per-key communication; the
     /// destination-side handler registers its own epoch token and performs
     /// ordinary lock-free inserts, so batched and per-key inserts can run
-    /// concurrently. Returns the number of pairs actually inserted
+    /// concurrently. A high watermark (4x the per-destination capacity)
+    /// bounds total buffered memory under skewed key distributions.
+    /// Returns the number of pairs actually inserted
     /// (duplicates of existing keys are dropped, as in [`Self::insert`]).
     pub fn insert_bulk(&self, pairs: Vec<(K, V)>) -> usize {
         let rt = ctx::current_runtime();
@@ -291,7 +293,8 @@ where
                     inserted.fetch_add(1, Ordering::Relaxed);
                 }
             }
-        });
+        })
+        .with_high_watermark(4 * DEFAULT_BUFFER_CAP);
         for (k, v) in pairs {
             let dest = self.bucket_for(hash_key(&k)).locale();
             batcher.aggregate(dest, (k, v));
@@ -319,7 +322,8 @@ where
                     Err(poison) => *poison.into_inner() = hit,
                 }
             }
-        });
+        })
+        .with_high_watermark(4 * DEFAULT_BUFFER_CAP);
         for (i, k) in keys.into_iter().enumerate() {
             let dest = self.bucket_for(hash_key(&k)).locale();
             batcher.aggregate(dest, (i, k));

@@ -9,12 +9,11 @@
 //! compared: one remote atomic per update vs aggregating updates per
 //! destination and shipping bulk batches — the same idea as the
 //! `EpochManager`'s scatter list, applied to writes. Also demonstrates
-//! `DistArray`, `Aggregator`, reductions, and the `DistBarrier`.
+//! `DistArray`, `Batcher`, reductions, and the `DistBarrier`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pgas_nonblocking::prelude::*;
-use pgas_nonblocking::sim::aggregate::Aggregator;
 use pgas_nonblocking::sim::array::{Dist, DistArray};
 use pgas_nonblocking::sim::barrier::DistBarrier;
 use pgas_nonblocking::sim::reduce::sum_locales;
@@ -61,7 +60,7 @@ fn main() {
         let t0 = vtime::now();
         rt.coforall_locales(|l| {
             let mut rng = StdRng::seed_from_u64(1000 + l as u64);
-            let mut agg = Aggregator::new(&rt, 512, |dest, batch: Vec<usize>| {
+            let mut agg = Batcher::new(&rt, 512, |dest, batch: Vec<usize>| {
                 // Runs ON the destination: all increments are local.
                 for bin in batch {
                     histo.local_segment(dest)[bin_offset(&histo, bin)]

@@ -15,9 +15,17 @@
 //! conserve the operation count — every increment is accounted on exactly
 //! one path-appropriate counter. Batching must strictly reduce the AM
 //! count.
+//!
+//! A fourth leg drives the same increments concurrently with the
+//! *combining* layer enabled (`combining = true`): same memory effects,
+//! conserved counters, and strictly fewer active messages than the
+//! uncombined concurrent run. A property test checks the combining layer's
+//! ordering contract: operations from one task execute in the order that
+//! task issued them (per-publisher FIFO).
 
 use pgas_nonblocking::prelude::*;
 use pgas_nonblocking::sim::CommSnapshot;
+use proptest::prelude::*;
 
 const CELLS: usize = 8;
 const N: u64 = 256;
@@ -107,6 +115,97 @@ fn all_three_paths_have_identical_memory_effects() {
         bat.am_sent,
         am.am_sent
     );
+}
+
+/// Eight concurrent tasks spread the same N increments over the cells —
+/// the contention pattern the combining layer exists for.
+fn concurrent(rt: &Runtime, cells: &[AtomicInt]) {
+    let tasks = 8usize;
+    let per_task = N as usize / tasks;
+    rt.coforall_tasks(tasks, |t| {
+        for i in 0..per_task {
+            cells[(t * per_task + i) % CELLS].fetch_add(1);
+        }
+    });
+}
+
+#[test]
+fn combining_leg_matches_blocking_am_effects() {
+    let (off_vals, off) = run_workload(
+        RuntimeConfig::cluster(2).without_network_atomics(),
+        concurrent,
+    );
+    let (on_vals, on) = run_workload(
+        RuntimeConfig::cluster(2)
+            .without_network_atomics()
+            .with_combining(true),
+        concurrent,
+    );
+
+    // Identical memory effects, combined or not.
+    let expected: Vec<u64> = (0..CELLS as u64).map(|_| N / CELLS as u64).collect();
+    assert_eq!(off_vals, expected, "uncombined concurrent memory effect");
+    assert_eq!(on_vals, expected, "combined concurrent memory effect");
+
+    // Uncombined concurrent run: one AM per op, nothing combined.
+    assert_eq!(off.am_sent, N);
+    assert_eq!(off.cpu_atomics, N);
+    assert_eq!(off.combines, 0);
+    assert_eq!(off.combined_ops, 0);
+
+    // Combined run: every op still executes exactly once on the owner and
+    // is accounted on the combining counters; each shipped batch is one AM.
+    assert_eq!(on.cpu_atomics, N, "increments conserved under combining");
+    assert_eq!(on.combined_ops, N, "every op rode the combining layer");
+    assert_eq!(on.am_batch_items, N);
+    assert_eq!(on.am_sent, on.combines, "one AM per combined batch");
+    assert_eq!(on.am_handled, on.am_sent);
+    assert_eq!(on.rdma_atomics, 0);
+
+    // The whole point: strictly fewer messages for the same effects.
+    assert!(
+        on.am_sent < off.am_sent,
+        "combining must strictly reduce AMs ({} vs {})",
+        on.am_sent,
+        off.am_sent
+    );
+}
+
+proptest! {
+    // Each case spins up a full runtime (real threads); keep the case
+    // count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Per-publisher FIFO: however ops interleave across tasks, one task's
+    /// combined operations execute at the destination in issue order.
+    #[test]
+    fn combining_preserves_per_task_fifo(
+        tasks in 1usize..5,
+        per_task in 1u64..24,
+    ) {
+        let rt = Runtime::new(
+            RuntimeConfig::cluster(2)
+                .without_network_atomics()
+                .with_combining(true),
+        );
+        let log = std::sync::Mutex::new(Vec::<(usize, u64)>::new());
+        rt.run(|| {
+            rt.coforall_tasks(tasks, |t| {
+                for i in 0..per_task {
+                    rt.on_combining(1, || {
+                        log.lock().unwrap().push((t, i));
+                    });
+                }
+            });
+        });
+        let log = log.into_inner().unwrap();
+        prop_assert_eq!(log.len(), tasks * per_task as usize);
+        let mut next = vec![0u64; tasks];
+        for (t, i) in log {
+            prop_assert_eq!(i, next[t], "task {}'s ops must execute in issue order", t);
+            next[t] += 1;
+        }
+    }
 }
 
 #[test]
