@@ -154,9 +154,13 @@ impl<T> AtomicAbaObject<T> {
 
     // ---- ABA variants -----------------------------------------------
 
-    /// Atomically read the `{pointer, counter}` snapshot.
+    /// Atomically read the `{pointer, counter}` snapshot. A pure read —
+    /// idempotent under fault injection, so a lost read request may be
+    /// retried (see [`pgas_sim::faults`]).
     pub fn read_aba(&self) -> Aba<T> {
-        unpack(self.route(|c| c.load(Ordering::SeqCst)))
+        pgas_sim::faults::with_class(pgas_sim::faults::OpClass::Idempotent, || {
+            unpack(self.route(|c| c.load(Ordering::SeqCst)))
+        })
     }
 
     /// Install `new` iff both the pointer *and* the counter still match
@@ -197,27 +201,30 @@ impl<T> AtomicAbaObject<T> {
     /// low word, so — unlike every other operation here — it can ride the
     /// NIC as an RDMA atomic.
     pub fn read(&self) -> GlobalPtr<T> {
-        ctx::with_core(
-            |core, _| match engine::remote_atomic_u64(core, self.owner) {
-                AtomicPath::Nic | AtomicPath::CpuLocal => {
-                    // SAFETY of the narrow read: the low half of the 128-bit
-                    // cell is itself 8-byte aligned, and a racing DCAS replaces
-                    // the pair atomically, so a 64-bit load observes a pointer
-                    // word that was current at some point — the same guarantee
-                    // an RDMA GET of the low word gives on real hardware. We
-                    // express it as a full 128-bit load and truncate, which is
-                    // what portable-atomic can do losslessly on every target.
-                    GlobalPtr::from_bits(self.cell.load(Ordering::SeqCst) as u64)
-                }
-                AtomicPath::ActiveMessage => {
-                    let bits = core.on_combining(self.owner, || {
-                        engine::handler_atomic_u64(core);
-                        self.cell.load(Ordering::SeqCst) as u64
-                    });
-                    GlobalPtr::from_bits(bits)
-                }
-            },
-        )
+        pgas_sim::faults::with_class(pgas_sim::faults::OpClass::Idempotent, || {
+            ctx::with_core(
+                |core, _| match engine::remote_atomic_u64(core, self.owner) {
+                    AtomicPath::Nic | AtomicPath::CpuLocal => {
+                        // SAFETY of the narrow read: the low half of the
+                        // 128-bit cell is itself 8-byte aligned, and a racing
+                        // DCAS replaces the pair atomically, so a 64-bit load
+                        // observes a pointer word that was current at some
+                        // point — the same guarantee an RDMA GET of the low
+                        // word gives on real hardware. We express it as a full
+                        // 128-bit load and truncate, which is what
+                        // portable-atomic can do losslessly on every target.
+                        GlobalPtr::from_bits(self.cell.load(Ordering::SeqCst) as u64)
+                    }
+                    AtomicPath::ActiveMessage => {
+                        let bits = core.on_combining(self.owner, || {
+                            engine::handler_atomic_u64(core);
+                            self.cell.load(Ordering::SeqCst) as u64
+                        });
+                        GlobalPtr::from_bits(bits)
+                    }
+                },
+            )
+        })
     }
 
     /// Store an object reference without ABA semantics. Still bumps the

@@ -57,9 +57,13 @@ impl AtomicInt {
         )
     }
 
-    /// Atomic load (SeqCst, like Chapel's default).
+    /// Atomic load (SeqCst, like Chapel's default). A pure read, so under
+    /// fault injection it is tagged idempotent: a lost read request can be
+    /// retried safely (see [`pgas_sim::faults`]).
     pub fn read(&self) -> u64 {
-        self.route(|c| c.load(Ordering::SeqCst))
+        pgas_sim::faults::with_class(pgas_sim::faults::OpClass::Idempotent, || {
+            self.route(|c| c.load(Ordering::SeqCst))
+        })
     }
 
     /// Atomic store.

@@ -77,4 +77,108 @@ mod tests {
         let w = WideGlobalPtr::<u8>::new(1 << 17, 0x4000);
         assert!(try_compress(w).is_err());
     }
+
+    mod pack_roundtrip {
+        use super::*;
+        use proptest::prelude::*;
+
+        const ADDR_BITS: u32 = 48;
+        const ADDR_SPACE: u64 = 1 << ADDR_BITS;
+
+        /// Run `f`, which is expected to panic, with the default panic hook
+        /// suppressed so hundreds of proptest cases don't spam stderr.
+        fn panics(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let r = std::panic::catch_unwind(f);
+            std::panic::set_hook(hook);
+            r.is_err()
+        }
+
+        /// Bias `addr` toward the interesting corners — null, the 48-bit
+        /// ceiling, the mark bit's neighbours — far more often than uniform
+        /// sampling would hit them. (`sel` picks a corner ~half the time.)
+        fn bias_addr(sel: u8, addr: u64) -> u64 {
+            match sel {
+                0 => 0,
+                1 => 1,
+                2 => ADDR_SPACE - 1,
+                3 => ADDR_SPACE - 2,
+                _ => addr,
+            }
+        }
+
+        proptest! {
+            /// Every in-range (locale, addr) survives compression: locale
+            /// exactly, address up to the Harris mark bit (which `addr()`
+            /// masks and `is_marked()` reports instead).
+            #[test]
+            fn compressed_pack_unpack_roundtrips(
+                locale in 0u16..=u16::MAX,
+                sel in 0u8..8,
+                raw_addr in 0u64..ADDR_SPACE,
+            ) {
+                let addr = bias_addr(sel, raw_addr);
+                let p = GlobalPtr::<u64>::new(locale, addr as usize);
+                prop_assert_eq!(p.locale(), locale);
+                prop_assert_eq!(p.addr() as u64, addr & !1);
+                prop_assert_eq!(p.is_marked(), addr & 1 == 1);
+                prop_assert_eq!(p.is_null(), addr & !1 == 0);
+
+                // The raw-word and wide representations agree with it.
+                let q = GlobalPtr::<u64>::from_bits(p.into_bits());
+                prop_assert_eq!(q, p);
+                let w = p.widen();
+                prop_assert_eq!(w.locale(), locale as u64);
+                prop_assert_eq!(w.compress(), p);
+            }
+
+            /// Any address with a bit at or above position 48 set is not a
+            /// canonical user-space address and must be rejected loudly,
+            /// never silently truncated.
+            #[test]
+            fn out_of_range_addresses_are_rejected(
+                locale in 0u16..=u16::MAX,
+                low in 0u64..ADDR_SPACE,
+                bit in ADDR_BITS..u64::BITS,
+            ) {
+                let bad = low | (1u64 << bit);
+                let rejected = panics(move || {
+                    let _ = GlobalPtr::<u8>::new(locale, bad as usize);
+                });
+                prop_assert!(rejected, "address {:#x} was not rejected", bad);
+            }
+
+            /// `try_compress` succeeds exactly when the locale fits in 16
+            /// bits, and a successful compression is lossless.
+            #[test]
+            fn try_compress_agrees_with_the_locale_bound(
+                raw_locale in 0u64..(1u64 << 24),
+                fits in 0u8..2,
+                sel in 0u8..8,
+                raw_addr in 0u64..ADDR_SPACE,
+            ) {
+                // Half the cases are forced into the compressible range so
+                // both arms get real coverage.
+                let locale = if fits == 0 {
+                    raw_locale & (MAX_COMPRESSED_LOCALES as u64 - 1)
+                } else {
+                    raw_locale
+                };
+                let addr = bias_addr(sel, raw_addr);
+                let w = WideGlobalPtr::<u32>::new(locale, addr as usize);
+                match try_compress(w) {
+                    Ok(c) => {
+                        prop_assert!(locale < MAX_COMPRESSED_LOCALES as u64);
+                        prop_assert_eq!(c.locale() as u64, locale);
+                        prop_assert_eq!(c.addr(), w.addr());
+                    }
+                    Err(back) => {
+                        prop_assert!(locale >= MAX_COMPRESSED_LOCALES as u64);
+                        prop_assert_eq!(back, w, "failure returns the input unchanged");
+                    }
+                }
+            }
+        }
+    }
 }

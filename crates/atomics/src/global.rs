@@ -115,9 +115,11 @@ impl<T> AtomicObject<T> {
         })
     }
 
-    /// Atomically read the current reference.
+    /// Atomically read the current reference. A pure read — idempotent
+    /// under fault injection, so a lost read request may be retried (see
+    /// [`pgas_sim::faults`]).
     pub fn read(&self) -> GlobalPtr<T> {
-        match &self.repr {
+        pgas_sim::faults::with_class(pgas_sim::faults::OpClass::Idempotent, || match &self.repr {
             Repr::Compressed(c) => {
                 GlobalPtr::from_bits(self.route64(c, |c| c.load(Ordering::SeqCst)))
             }
@@ -125,7 +127,7 @@ impl<T> AtomicObject<T> {
                 let bits = self.route128(c, |c| c.load(Ordering::SeqCst));
                 wide_ptr_to_global(u128_to_wide::<T>(bits))
             }
-        }
+        })
     }
 
     /// Atomically replace the reference.

@@ -1,0 +1,525 @@
+//! Chaos harness: runs the non-blocking structures under seeded fault
+//! plans and checks the progress/safety invariants the paper's algorithms
+//! promise (no lost or reordered operations, no use-after-free, monotone
+//! ABA counters, progress despite a stalled pinned task).
+//!
+//! ```text
+//! cargo run -p pgas-bench --release --bin chaos -- --seed 42
+//! cargo run -p pgas-bench --release --bin chaos -- --seed 7 --workloads queue,map --quick
+//! ```
+//!
+//! Every cell of the plan × workload matrix prints one row with the
+//! injection counters and a verdict; the binary exits nonzero if any cell
+//! fails. Same-seed reruns inject at identical decision points, so a
+//! failing cell reproduces with its printed seed (see DESIGN.md, "Fault
+//! model & invariants").
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pgas_nb::prelude::*;
+use pgas_nb::sim::faults::invariants::InvariantChecker;
+use pgas_nb::sim::{faults, CommSnapshot, FaultPlan, OpClass, RetryPolicy};
+
+const LOCALES: usize = 4;
+const TASKS_PER_LOCALE: usize = 2;
+const WORKERS: u64 = (LOCALES * TASKS_PER_LOCALE) as u64;
+/// Consumer id used for the single-task drain at the end of a queue cell.
+const DRAIN_CONSUMER: u64 = 0xFFFF;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Queue,
+    Stack,
+    Map,
+}
+
+impl Workload {
+    const ALL: [Workload; 3] = [Workload::Queue, Workload::Stack, Workload::Map];
+
+    fn label(self) -> &'static str {
+        match self {
+            Workload::Queue => "queue",
+            Workload::Stack => "stack",
+            Workload::Map => "map",
+        }
+    }
+}
+
+struct Scale {
+    /// Structure operations per worker task.
+    ops: u64,
+    /// Iterations of the deterministic fingerprint cell.
+    repro_ops: u64,
+}
+
+const FULL: Scale = Scale {
+    ops: 400,
+    repro_ops: 400,
+};
+const QUICK: Scale = Scale {
+    ops: 120,
+    repro_ops: 200,
+};
+
+/// The adversarial plans. Each gets a distinct seed offset so "--seed N"
+/// reseeds the whole matrix coherently.
+fn build_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "delay",
+            FaultPlan::seeded(seed.wrapping_add(1)).with_delays(300, 5_000),
+        ),
+        (
+            "drop+retry",
+            FaultPlan::seeded(seed.wrapping_add(2))
+                .with_drops(250)
+                .with_retry(RetryPolicy {
+                    timeout_ns: 10_000,
+                    max_attempts: 4,
+                    backoff_base_ns: 500,
+                    backoff_cap_ns: 8_000,
+                }),
+        ),
+        (
+            "dup",
+            FaultPlan::seeded(seed.wrapping_add(3)).with_dups(300),
+        ),
+        (
+            "straggler",
+            FaultPlan::seeded(seed.wrapping_add(4))
+                .with_straggler(1, 8)
+                .with_delays(100, 2_000),
+        ),
+        (
+            "stall",
+            FaultPlan::seeded(seed.wrapping_add(5))
+                .with_stalled_task(1)
+                .with_delays(200, 3_000),
+        ),
+    ]
+}
+
+fn cfg(plan: &FaultPlan) -> RuntimeConfig {
+    // Network atomics off: every remote operation takes the AM path, which
+    // is where drops/dups/delays bite hardest.
+    RuntimeConfig::cluster(LOCALES)
+        .without_network_atomics()
+        .with_faults(plan.clone())
+}
+
+struct CellOutcome {
+    ops: u64,
+    comm: CommSnapshot,
+    failures: Vec<String>,
+}
+
+type FailLog = Mutex<Vec<String>>;
+
+fn fail(log: &FailLog, msg: String) {
+    log.lock().unwrap().push(msg);
+}
+
+/// Run the worker topology: `TASKS_PER_LOCALE` tasks on every locale, plus
+/// (when the plan asks for it) one extra task on the stalled locale that
+/// registers a token, pins it, and holds the pin until every worker has
+/// finished — the paper's "one task stops cooperating" scenario. Returns
+/// the number of live (deferred, unreclaimed) objects sampled while the
+/// pin was still held.
+fn drive(
+    rt: &Runtime,
+    plan: &FaultPlan,
+    em: &EpochManager,
+    work: impl Fn(u64) + Send + Sync,
+) -> u64 {
+    let done = AtomicU64::new(0);
+    let live_while_stalled = AtomicU64::new(0);
+    rt.coforall_locales(|lid| {
+        let stall_here = plan.stalled_task == Some(lid);
+        let tasks = TASKS_PER_LOCALE + usize::from(stall_here);
+        rt.coforall_tasks(tasks, |t| {
+            if stall_here && t == TASKS_PER_LOCALE {
+                let tok = em.register();
+                tok.pin();
+                while done.load(Ordering::Acquire) < WORKERS {
+                    std::thread::yield_now();
+                }
+                // Everyone else is finished and this pin has blocked epoch
+                // advancement the whole time: their garbage must be visible.
+                live_while_stalled.store(rt.live_objects().max(0) as u64, Ordering::Relaxed);
+                tok.unpin();
+            } else {
+                work(lid as u64 * TASKS_PER_LOCALE as u64 + t as u64);
+                done.fetch_add(1, Ordering::Release);
+            }
+        });
+    });
+    live_while_stalled.load(Ordering::Relaxed)
+}
+
+/// Periodic hammer on a shared ABA-protected object: reads feed the
+/// checker's per-task monotonicity streams, exchanges force stamp bumps.
+fn hammer_aba(aba: &AtomicAbaObject<u64>, checker: &InvariantChecker, task: u64, i: u64) {
+    if i.is_multiple_of(7) {
+        checker.record_aba(task, aba.read_aba().get_aba_count());
+        let next = if i.is_multiple_of(14) {
+            GlobalPtr::null()
+        } else {
+            GlobalPtr::new(0, 0x40)
+        };
+        aba.exchange_aba(next);
+    }
+}
+
+fn queue_cell(
+    rt: &Runtime,
+    plan: &FaultPlan,
+    checker: &Arc<InvariantChecker>,
+    sc: &Scale,
+    ops: &AtomicU64,
+    log: &FailLog,
+) -> u64 {
+    let q = MsQueue::<u64>::new();
+    q.epoch_manager().set_observer(checker.clone());
+    let aba = AtomicAbaObject::<u64>::new_on(0, GlobalPtr::null());
+    let dequeued = AtomicU64::new(0);
+    let live_stalled = drive(rt, plan, q.epoch_manager(), |task| {
+        let tok = q.register();
+        for i in 0..sc.ops {
+            q.enqueue(&tok, task << 32 | i);
+            if let Some(v) = q.dequeue(&tok) {
+                // Per-(producer, consumer) dequeue order must follow
+                // enqueue order — FIFO survives retry and duplication.
+                checker.record_fifo((v >> 32) << 16 | task, v & 0xffff_ffff);
+                dequeued.fetch_add(1, Ordering::Relaxed);
+            }
+            hammer_aba(&aba, checker, task, i);
+            if i.is_multiple_of(64) {
+                q.try_reclaim();
+            }
+            ops.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    let tok = q.register();
+    let mut drained = 0u64;
+    while let Some(v) = q.dequeue(&tok) {
+        checker.record_fifo((v >> 32) << 16 | DRAIN_CONSUMER, v & 0xffff_ffff);
+        drained += 1;
+    }
+    drop(tok);
+    let total = dequeued.load(Ordering::Relaxed) + drained;
+    if total != WORKERS * sc.ops {
+        fail(
+            log,
+            format!(
+                "queue lost or invented items: enqueued {} but saw {total}",
+                WORKERS * sc.ops
+            ),
+        );
+    }
+    q.try_reclaim();
+    q.try_reclaim();
+    q.clear_reclaim();
+    live_stalled
+}
+
+fn stack_cell(
+    rt: &Runtime,
+    plan: &FaultPlan,
+    checker: &Arc<InvariantChecker>,
+    sc: &Scale,
+    ops: &AtomicU64,
+    log: &FailLog,
+) -> u64 {
+    let s = LockFreeStack::<u64>::new();
+    s.epoch_manager().set_observer(checker.clone());
+    let aba = AtomicAbaObject::<u64>::new_on(0, GlobalPtr::null());
+    let popped = AtomicU64::new(0);
+    let live_stalled = drive(rt, plan, s.epoch_manager(), |task| {
+        let tok = s.register();
+        for i in 0..sc.ops {
+            s.push(&tok, task << 32 | i);
+            if s.pop(&tok).is_some() {
+                popped.fetch_add(1, Ordering::Relaxed);
+            }
+            hammer_aba(&aba, checker, task, i);
+            if i.is_multiple_of(64) {
+                s.try_reclaim();
+            }
+            ops.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    let tok = s.register();
+    let mut drained = 0u64;
+    while s.pop(&tok).is_some() {
+        drained += 1;
+    }
+    drop(tok);
+    let total = popped.load(Ordering::Relaxed) + drained;
+    if total != WORKERS * sc.ops {
+        fail(
+            log,
+            format!(
+                "stack lost or invented items: pushed {} but saw {total}",
+                WORKERS * sc.ops
+            ),
+        );
+    }
+    s.try_reclaim();
+    s.try_reclaim();
+    s.clear_reclaim();
+    live_stalled
+}
+
+fn map_cell(
+    rt: &Runtime,
+    plan: &FaultPlan,
+    checker: &Arc<InvariantChecker>,
+    sc: &Scale,
+    ops: &AtomicU64,
+    log: &FailLog,
+) -> u64 {
+    let m = DistHashMap::<u64, u64>::new(32);
+    m.epoch_manager().set_observer(checker.clone());
+    let aba = AtomicAbaObject::<u64>::new_on(0, GlobalPtr::null());
+    let live_stalled = drive(rt, plan, m.epoch_manager(), |task| {
+        let tok = m.register();
+        for i in 0..sc.ops {
+            let k = task << 32 | i;
+            if !m.insert(&tok, k, i) {
+                fail(log, format!("map insert of fresh key {k:#x} reported dup"));
+            }
+            if m.get(&tok, &k) != Some(i) {
+                fail(log, format!("map lost its own write for key {k:#x}"));
+            }
+            if i % 2 == 1 && !m.remove(&tok, &k) {
+                fail(log, format!("map remove of present key {k:#x} failed"));
+            }
+            hammer_aba(&aba, checker, task, i);
+            if i.is_multiple_of(64) {
+                m.try_reclaim();
+            }
+            ops.fetch_add(1, Ordering::Relaxed);
+        }
+        // Each task deletes the keys it kept; the map must end empty.
+        for i in (0..sc.ops).step_by(2) {
+            let k = task << 32 | i;
+            if !m.remove(&tok, &k) {
+                fail(
+                    log,
+                    format!("map lost surviving key {k:#x} before teardown"),
+                );
+            }
+        }
+    });
+    if !m.is_empty() {
+        fail(log, format!("map should be empty, has {} entries", m.len()));
+    }
+    m.try_reclaim();
+    m.try_reclaim();
+    m.clear_reclaim();
+    live_stalled
+}
+
+fn run_cell(plan: &FaultPlan, wl: Workload, sc: &Scale) -> CellOutcome {
+    let rt = Runtime::new(cfg(plan));
+    let checker = InvariantChecker::new();
+    let ops = AtomicU64::new(0);
+    let log: FailLog = Mutex::new(Vec::new());
+    let live_stalled = rt.run(|| match wl {
+        Workload::Queue => queue_cell(&rt, plan, &checker, sc, &ops, &log),
+        Workload::Stack => stack_cell(&rt, plan, &checker, sc, &ops, &log),
+        Workload::Map => map_cell(&rt, plan, &checker, sc, &ops, &log),
+    });
+    let mut failures = log.into_inner().unwrap();
+    let comm = rt.total_comm();
+    let ops = ops.load(Ordering::Relaxed);
+
+    // Progress: every worker must have completed its full loop even with a
+    // stalled pinned task parked on one locale.
+    if ops != WORKERS * sc.ops {
+        failures.push(format!(
+            "only {ops}/{} worker ops completed",
+            WORKERS * sc.ops
+        ));
+    }
+    if plan.stalled_task.is_some() && live_stalled == 0 {
+        failures.push("stalled pin held no garbage live (scenario did not bite)".into());
+    }
+    if rt.live_objects() != 0 {
+        failures.push(format!(
+            "{} objects leaked after teardown",
+            rt.live_objects()
+        ));
+    }
+    // Each configured fault class must actually have fired, and no class
+    // the plan did not configure may fire.
+    for (name, per_mille, count) in [
+        ("drops", plan.drop_per_mille, comm.injected_drops),
+        ("delays", plan.delay_per_mille, comm.injected_delays),
+        ("dups", plan.dup_per_mille, comm.injected_dups),
+    ] {
+        if per_mille > 0 && count == 0 {
+            failures.push(format!("plan configures {name} but none were injected"));
+        }
+        if per_mille == 0 && count != 0 {
+            failures.push(format!("{count} uninvited {name} injected"));
+        }
+    }
+    if let Err(violations) = checker.check() {
+        failures.extend(violations);
+    }
+    CellOutcome {
+        ops,
+        comm,
+        failures,
+    }
+}
+
+/// A deterministic, contention-free cell: one task issuing a fixed
+/// alternating sequence of idempotent and non-idempotent remote calls.
+/// Its injection counters are a pure function of the plan's seed, so two
+/// runs must agree bit-for-bit — the reproducibility contract.
+fn injection_fingerprint(plan: &FaultPlan, sc: &Scale) -> (u64, u64, u64, u64) {
+    let rt = Runtime::new(cfg(plan));
+    rt.run(|| {
+        for i in 0..sc.repro_ops {
+            if i.is_multiple_of(2) {
+                faults::with_class(OpClass::Idempotent, || rt.on(1, || {}));
+            } else {
+                rt.on(1, || {});
+            }
+        }
+    });
+    let c = rt.total_comm();
+    (
+        c.injected_drops,
+        c.injected_delays,
+        c.injected_dups,
+        c.retries,
+    )
+}
+
+/// Prove the invariant checker can actually catch a broken reclaimer: free
+/// the *current* epoch's limbo list (a planted use-after-free bug) and
+/// require the checker to flag it.
+fn checker_self_test() -> Result<(), String> {
+    let rt = Runtime::new(RuntimeConfig::cluster(2).without_network_atomics());
+    rt.run(|| {
+        let em = EpochManager::new();
+        let checker = InvariantChecker::new();
+        em.set_observer(checker.clone());
+        let tok = em.register();
+        tok.pin();
+        tok.defer_delete(alloc_local(&current_runtime(), 1u64));
+        tok.unpin();
+        let freed = em.debug_reclaim_current_epoch_early();
+        em.clear();
+        drop(tok);
+        if freed == 0 {
+            return Err("early-free hook reclaimed nothing".to_string());
+        }
+        if checker.check().is_ok() {
+            return Err("planted early free was NOT caught by the checker".to_string());
+        }
+        Ok(())
+    })
+}
+
+fn print_row(plan: &str, workload: &str, detail: &str, ok: bool) {
+    println!(
+        "{plan:<12} {workload:<9} {detail:<58} {}",
+        if ok { "ok" } else { "FAIL" }
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sc = if quick { &QUICK } else { &FULL };
+    let mut seed = 42u64;
+    let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--workloads" => {
+                let list = it.next().expect("--workloads takes a comma list");
+                workloads = list
+                    .split(',')
+                    .map(|w| match w {
+                        "queue" => Workload::Queue,
+                        "stack" => Workload::Stack,
+                        "map" => Workload::Map,
+                        other => panic!("unknown workload {other:?} (queue|stack|map)"),
+                    })
+                    .collect();
+            }
+            "--quick" => {}
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!(
+        "chaos harness: seed={seed} locales={LOCALES} workers={WORKERS} \
+         ops/worker={} ({})",
+        sc.ops,
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:<12} {:<9} {:<58} verdict",
+        "plan", "workload", "injections"
+    );
+
+    let mut failed = 0u32;
+    for (pname, plan) in build_plans(seed) {
+        for &wl in &workloads {
+            let out = run_cell(&plan, wl, sc);
+            let detail = format!(
+                "ops={} drops={} delays={} dups={} retries={} gave_up={}",
+                out.ops,
+                out.comm.injected_drops,
+                out.comm.injected_delays,
+                out.comm.injected_dups,
+                out.comm.retries,
+                out.comm.gave_up,
+            );
+            let ok = out.failures.is_empty();
+            print_row(pname, wl.label(), &detail, ok);
+            for f in &out.failures {
+                println!("    !! {f}");
+                failed += 1;
+            }
+        }
+        let a = injection_fingerprint(&plan, sc);
+        let b = injection_fingerprint(&plan, sc);
+        let ok = a == b;
+        print_row(pname, "repro", &format!("run1={a:?} run2={b:?}"), ok);
+        if !ok {
+            println!("    !! same-seed reruns diverged");
+            failed += 1;
+        }
+    }
+
+    match checker_self_test() {
+        Ok(()) => print_row("self-test", "checker", "planted early free caught", true),
+        Err(e) => {
+            print_row("self-test", "checker", &e, false);
+            failed += 1;
+        }
+    }
+
+    if failed > 0 {
+        println!("\nchaos: {failed} failure(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("\nchaos: all cells passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -16,12 +16,18 @@
 //!
 //! Every measured row is also collected and written to
 //! `BENCH_results.json` as `{name, locales, vtime_ns, ns_per_op, mops,
-//! am_count}` so CI (and plotting scripts) can consume the run without
-//! scraping the text output. `locales` is the row's sweep coordinate (the
-//! task count for shared-memory panels, the hop count for A6); `am_count`
-//! is null for series that do not report an AM total.
+//! am_count, retries, gave_up, injected_drops, injected_delays,
+//! injected_dups}` so CI (and plotting scripts) can consume the run
+//! without scraping the text output. `locales` is the row's sweep
+//! coordinate (the task count for shared-memory panels, the hop count for
+//! A6); `am_count` is null for series that do not report an AM total. The
+//! last five fields are the fault-injection counters — always zero here
+//! (the harness never installs a fault plan), which CI asserts so a chaos
+//! configuration can never leak into the performance baselines.
 
 use std::sync::Mutex;
+
+use pgas_nb::sim::CommSnapshot;
 
 use pgas_bench::{
     ablate_combining, ablate_election, ablate_local_manager, ablate_privatization,
@@ -29,6 +35,30 @@ use pgas_bench::{
     fig7_read_only, fig_deletion, runtime, CombineWorkload, Sample, Variant, LOCALE_SWEEP,
     TASK_SWEEP,
 };
+
+/// Fault-injection counters carried on every row. All-zero on a clean
+/// (fault-free) run — CI's perf guard asserts exactly that, so a fault
+/// plan accidentally left enabled can never masquerade as a regression.
+#[derive(Default, Clone, Copy)]
+struct ChaosCounters {
+    retries: u64,
+    gave_up: u64,
+    injected_drops: u64,
+    injected_delays: u64,
+    injected_dups: u64,
+}
+
+impl ChaosCounters {
+    fn from_comm(c: &CommSnapshot) -> ChaosCounters {
+        ChaosCounters {
+            retries: c.retries,
+            gave_up: c.gave_up,
+            injected_drops: c.injected_drops,
+            injected_delays: c.injected_delays,
+            injected_dups: c.injected_dups,
+        }
+    }
+}
 
 /// One row of `BENCH_results.json`.
 struct Record {
@@ -38,6 +68,7 @@ struct Record {
     ns_per_op: f64,
     mops: f64,
     am_count: Option<u64>,
+    chaos: ChaosCounters,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -70,10 +101,32 @@ const QUICK: Scale = Scale {
 };
 
 fn row(label: &str, x_name: &str, x: usize, extra: &str, s: Sample) {
-    row_am(label, x_name, x, extra, s, None);
+    row_full(label, x_name, x, extra, s, None, ChaosCounters::default());
 }
 
-fn row_am(label: &str, x_name: &str, x: usize, extra: &str, s: Sample, am: Option<u64>) {
+/// A row whose runtime exposed a [`CommSnapshot`]: records the AM total
+/// and the fault-injection counters alongside the timing.
+fn row_comm(label: &str, x_name: &str, x: usize, extra: &str, s: Sample, comm: &CommSnapshot) {
+    row_full(
+        label,
+        x_name,
+        x,
+        extra,
+        s,
+        Some(comm.am_sent),
+        ChaosCounters::from_comm(comm),
+    );
+}
+
+fn row_full(
+    label: &str,
+    x_name: &str,
+    x: usize,
+    extra: &str,
+    s: Sample,
+    am: Option<u64>,
+    chaos: ChaosCounters,
+) {
     println!(
         "{label:<34} {x_name}={x:<3} {extra:<18} vtime={:>12.3} ms  \
          ns/op={:>9.1}  mops={:>8.2}  wall={:>8.1} ms",
@@ -101,6 +154,7 @@ fn row_am(label: &str, x_name: &str, x: usize, extra: &str, s: Sample, am: Optio
         ns_per_op: s.ns_per_op(),
         mops: s.mops(),
         am_count: am,
+        chaos,
     });
 }
 
@@ -137,13 +191,20 @@ fn write_results_json(path: &str) {
     for (i, r) in recs.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"name\": {}, \"locales\": {}, \"vtime_ns\": {}, \
-             \"ns_per_op\": {}, \"mops\": {}, \"am_count\": {}}}{}\n",
+             \"ns_per_op\": {}, \"mops\": {}, \"am_count\": {}, \
+             \"retries\": {}, \"gave_up\": {}, \"injected_drops\": {}, \
+             \"injected_delays\": {}, \"injected_dups\": {}}}{}\n",
             jstr(&r.name),
             r.locales,
             r.vtime_ns,
             jnum(r.ns_per_op),
             jnum(r.mops),
             r.am_count.map_or("null".to_string(), |a| a.to_string()),
+            r.chaos.retries,
+            r.chaos.gave_up,
+            r.chaos.injected_drops,
+            r.chaos.injected_delays,
+            r.chaos.injected_dups,
             if i + 1 < recs.len() { "," } else { "" },
         ));
     }
@@ -169,7 +230,14 @@ fn fig3(sc: &Scale) {
             for &tasks in &TASK_SWEEP {
                 let rt = runtime(1, net);
                 let s = fig3_shared(&rt, tasks, sc.fig3_ops, variant);
-                row(variant.label(), "tasks", tasks, net_lbl, s);
+                row_comm(
+                    variant.label(),
+                    "tasks",
+                    tasks,
+                    net_lbl,
+                    s,
+                    &rt.total_comm(),
+                );
             }
         }
     }
@@ -184,7 +252,14 @@ fn fig3(sc: &Scale) {
             for &locales in &LOCALE_SWEEP {
                 let rt = runtime(locales, net);
                 let s = fig3_dist(&rt, 4, sc.fig3_ops, variant);
-                row(variant.label(), "locales", locales, net_lbl, s);
+                row_comm(
+                    variant.label(),
+                    "locales",
+                    locales,
+                    net_lbl,
+                    s,
+                    &rt.total_comm(),
+                );
                 if locales == *LOCALE_SWEEP.last().unwrap() {
                     println!(
                         "    └─ comm @{locales} locales: {}",
@@ -206,7 +281,7 @@ fn fig_deletion_sweep(name: &str, objects: usize, per_iter: Option<u64>, remote_
         for &locales in &LOCALE_SWEEP {
             let rt = runtime(locales, net);
             let (s, stats) = fig_deletion(&rt, objects, per_iter, remote_pct);
-            row(name, "locales", locales, net_lbl, s);
+            row_comm(name, "locales", locales, net_lbl, s, &rt.total_comm());
             if locales == *LOCALE_SWEEP.last().unwrap() {
                 println!("    └─ reclaim stats @{locales} locales: {stats}");
                 println!(
@@ -239,12 +314,13 @@ fn fig6(sc: &Scale) {
         for &locales in &LOCALE_SWEEP {
             let rt = runtime(locales, true);
             let (s, _) = fig_deletion(&rt, sc.fig6_objects, None, remote_pct);
-            row(
+            row_comm(
                 &format!("defer+clear remote={remote_pct}%"),
                 "locales",
                 locales,
                 "net-atomics=on",
                 s,
+                &rt.total_comm(),
             );
         }
     }
@@ -261,7 +337,14 @@ fn fig7(sc: &Scale) {
         for &locales in &LOCALE_SWEEP {
             let rt = runtime(locales, net);
             let s = fig7_read_only(&rt, 4, sc.fig7_iters);
-            row("pin/unpin read-only", "locales", locales, net_lbl, s);
+            row_comm(
+                "pin/unpin read-only",
+                "locales",
+                locales,
+                net_lbl,
+                s,
+                &rt.total_comm(),
+            );
             if locales == *LOCALE_SWEEP.last().unwrap() {
                 println!(
                     "    └─ comm @{locales} locales: {}",
@@ -278,7 +361,7 @@ fn ablations(sc: &Scale) {
         for scatter in [true, false] {
             let rt = runtime(locales, true);
             let (s, comm) = ablate_scatter(&rt, sc.ablate_objects, scatter);
-            row_am(
+            row_comm(
                 if scatter {
                     "A1 scatter=on "
                 } else {
@@ -288,7 +371,7 @@ fn ablations(sc: &Scale) {
                 locales,
                 &format!("AMs={}", comm.am_sent),
                 s,
-                Some(comm.am_sent),
+                &comm,
             );
             if locales == 8 {
                 println!("    └─ comm @{locales} locales: {}", comm_breakdown(&comm));
@@ -301,7 +384,7 @@ fn ablations(sc: &Scale) {
         for privatized in [true, false] {
             let rt = runtime(locales, false);
             let s = ablate_privatization(&rt, sc.fig7_iters, privatized);
-            row(
+            row_comm(
                 if privatized {
                     "privatized "
                 } else {
@@ -311,6 +394,7 @@ fn ablations(sc: &Scale) {
                 locales,
                 "net-atomics=off",
                 s,
+                &rt.total_comm(),
             );
         }
     }
@@ -320,7 +404,7 @@ fn ablations(sc: &Scale) {
         for elected in [true, false] {
             let rt = runtime(locales, true);
             let s = ablate_election(&rt, sc.ablate_objects / 4, elected);
-            row(
+            row_comm(
                 if elected {
                     "election=on "
                 } else {
@@ -330,6 +414,7 @@ fn ablations(sc: &Scale) {
                 locales,
                 "tryReclaim/iter",
                 s,
+                &rt.total_comm(),
             );
         }
     }
@@ -387,7 +472,7 @@ fn ablations(sc: &Scale) {
         for &locales in &[2usize, 4, 8] {
             for combining in [false, true] {
                 let (s, comm) = ablate_combining(locales, sc.fig3_ops / 4, workload, combining);
-                row_am(
+                row_comm(
                     &format!(
                         "A7 {} combining={}",
                         workload.label(),
@@ -397,7 +482,7 @@ fn ablations(sc: &Scale) {
                     locales,
                     &format!("AMs={}", comm.am_sent),
                     s,
-                    Some(comm.am_sent),
+                    &comm,
                 );
             }
         }

@@ -25,9 +25,11 @@
 //! called in quiescence (single-owner teardown), as in the paper.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use pgas_atomics::AtomicInt;
 use pgas_sim::engine::Batcher;
+use pgas_sim::faults::invariants::ReclaimObserver;
 use pgas_sim::{ctx, Erased, GlobalPtr, LocaleId, Privatized, RuntimeCore, RuntimeHandle};
 
 use crate::limbo::{LimboList, NodePool};
@@ -70,6 +72,11 @@ pub struct EpochManager {
     /// object instead of batching by locale — the ablation knob for the
     /// scatter-list optimization (A1 in DESIGN.md).
     use_scatter: AtomicBool,
+    /// Optional reclamation observer (see
+    /// [`pgas_sim::faults::invariants`]): chaos harnesses install an
+    /// invariant checker here to audit defer/advance/reclaim ordering.
+    /// `OnceLock` keeps the no-observer fast path to one atomic load.
+    observer: OnceLock<Arc<dyn ReclaimObserver>>,
 }
 
 /// RAII registration handle for one task (the paper's token, wrapped in a
@@ -103,6 +110,7 @@ impl EpochManager {
             instances,
             stats: ReclaimStats::default(),
             use_scatter: AtomicBool::new(true),
+            observer: OnceLock::new(),
         }
     }
 
@@ -110,6 +118,18 @@ impl EpochManager {
     /// one active message each). For the ablation benchmark.
     pub fn set_scatter(&self, enabled: bool) {
         self.use_scatter.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Install a reclamation observer (at most once per manager); chaos
+    /// harnesses use this to audit defer/advance/reclaim ordering with an
+    /// [`pgas_sim::faults::invariants::InvariantChecker`].
+    ///
+    /// # Panics
+    /// If an observer is already installed.
+    pub fn set_observer(&self, obs: Arc<dyn ReclaimObserver>) {
+        if self.observer.set(obs).is_err() {
+            panic!("EpochManager already has a reclamation observer");
+        }
     }
 
     /// Register the calling task with its locale's privatized instance.
@@ -167,13 +187,24 @@ impl EpochManager {
             let new_epoch = next_epoch(this_epoch);
             self.global.epoch.write(new_epoch);
             ReclaimStats::bump(&self.stats.advances);
+            if let Some(obs) = self.observer.get() {
+                obs.on_advance(new_epoch);
+            }
             let use_scatter = self.use_scatter.load(Ordering::Relaxed);
             self.rt.coforall_locales(|_| {
                 let _this = self.instances.get();
                 // Update each locale's cached epoch.
                 _this.locale_epoch.write(new_epoch);
                 let freed = ctx::with_core(|core, _| {
-                    reclaim_list(core, _this, reclaim_epoch(new_epoch), use_scatter)
+                    reclaim_list(
+                        core,
+                        _this,
+                        reclaim_epoch(new_epoch),
+                        use_scatter,
+                        self.observer.get(),
+                        new_epoch,
+                        false,
+                    )
                 });
                 ReclaimStats::add(&self.stats.objects_reclaimed, freed);
             });
@@ -224,10 +255,33 @@ impl EpochManager {
             let _this = self.instances.get();
             let mut freed = 0;
             for e in 1..=EPOCHS {
-                freed += ctx::with_core(|core, _| reclaim_list(core, _this, e, use_scatter));
+                freed += ctx::with_core(|core, _| {
+                    // `during_clear = true`: the caller guarantees
+                    // quiescence, so age rules are suspended for the
+                    // observer.
+                    reclaim_list(core, _this, e, use_scatter, self.observer.get(), e, true)
+                });
             }
             ReclaimStats::add(&self.stats.objects_reclaimed, freed);
         });
+    }
+
+    /// TEST-ONLY: deliberately reclaim the *current* epoch's limbo list on
+    /// the calling locale — a use-after-free bug by construction (the list
+    /// is zero advances old, so pinned tasks may still hold references).
+    /// Exists so chaos suites can prove the invariant checker detects real
+    /// reclamation bugs rather than vacuously passing; never call it in
+    /// real workloads.
+    #[doc(hidden)]
+    pub fn debug_reclaim_current_epoch_early(&self) -> u64 {
+        let inst = self.instances.get();
+        let e = inst.locale_epoch.read();
+        let use_scatter = self.use_scatter.load(Ordering::Relaxed);
+        let freed = ctx::with_core(|core, _| {
+            reclaim_list(core, inst, e, use_scatter, self.observer.get(), e, false)
+        });
+        ReclaimStats::add(&self.stats.objects_reclaimed, freed);
+        freed
     }
 
     /// Aggregate reclamation counters.
@@ -251,8 +305,25 @@ impl EpochManager {
 
 /// Detach one locale's limbo list for `epoch`, scatter its contents by
 /// owning locale, and free each group — one bulk active message per remote
-/// destination (or one AM per object when `use_scatter` is off).
-fn reclaim_list(core: &RuntimeCore, inst: &LocaleInstance, epoch: u64, use_scatter: bool) -> u64 {
+/// destination (or one AM per object when `use_scatter` is off). Each
+/// drained object is reported to `observer` (with the epoch whose list it
+/// came from and the epoch current at reclamation) before it is freed;
+/// `during_clear` marks quiescent teardown, where the observer's age rules
+/// do not apply.
+fn reclaim_list(
+    core: &RuntimeCore,
+    inst: &LocaleInstance,
+    epoch: u64,
+    use_scatter: bool,
+    observer: Option<&Arc<dyn ReclaimObserver>>,
+    current_epoch: u64,
+    during_clear: bool,
+) -> u64 {
+    let observe = |e: &Erased| {
+        if let Some(obs) = observer {
+            obs.on_reclaim(e.addr(), epoch, current_epoch, during_clear);
+        }
+    };
     if use_scatter {
         // The scatter list is a `Batcher` over erased objects: unbounded
         // per-destination buffers with one explicit flush at the end, so
@@ -269,14 +340,20 @@ fn reclaim_list(core: &RuntimeCore, inst: &LocaleInstance, epoch: u64, use_scatt
         });
         let n = inst.limbo[limbo_index(epoch)]
             .take()
-            .drain_into(&inst.pool, |e| scatter.aggregate(e.owner(), e));
+            .drain_into(&inst.pool, |e| {
+                observe(&e);
+                scatter.aggregate(e.owner(), e)
+            });
         scatter.flush_all();
         n as u64
     } else {
         let n = inst.limbo[limbo_index(epoch)]
             .take()
-            // SAFETY: as above.
-            .drain_into(&inst.pool, |e| unsafe { pgas_sim::free_erased(core, e) });
+            .drain_into(&inst.pool, |e| {
+                observe(&e);
+                // SAFETY: as above.
+                unsafe { pgas_sim::free_erased(core, e) }
+            });
         n as u64
     }
 }
@@ -333,6 +410,9 @@ impl<'a> Token<'a> {
         let e = self.slot.epoch_relaxed();
         debug_assert_ne!(e, QUIESCENT, "defer_delete requires a pinned token");
         ReclaimStats::bump(&self.mgr.stats.objects_deferred);
+        if let Some(obs) = self.mgr.observer.get() {
+            obs.on_defer(ptr.addr(), e);
+        }
         let inst = self.mgr.instances.get_for(self.locale);
         inst.limbo[limbo_index(e)].push_node(inst.pool.get(), Erased::new(ptr));
     }
@@ -470,6 +550,80 @@ mod tests {
                 release.store(true, Ordering::SeqCst);
             });
             assert!(em.try_reclaim(), "after unpin the advance goes through");
+        });
+    }
+
+    #[test]
+    fn observer_sees_clean_defer_advance_reclaim_ordering() {
+        use pgas_sim::faults::invariants::InvariantChecker;
+        let rt = zrt(4);
+        rt.run(|| {
+            let em = EpochManager::new();
+            let checker = InvariantChecker::new();
+            em.set_observer(checker.clone());
+            {
+                let tok = em.register();
+                tok.pin();
+                for l in 0..4 {
+                    tok.defer_delete(alloc_on(&rt, l, l as u64));
+                }
+                tok.unpin();
+            }
+            em.try_reclaim();
+            em.try_reclaim();
+            assert_eq!(rt.live_objects(), 0);
+            assert_eq!(checker.defers(), 4);
+            assert_eq!(checker.advances(), 2);
+            assert_eq!(checker.reclaims(), 4);
+            checker.check().expect("two-advance reclamation is legal");
+        });
+    }
+
+    #[test]
+    fn deliberately_early_reclamation_is_caught_by_the_checker() {
+        use pgas_sim::faults::invariants::InvariantChecker;
+        let rt = zrt(2);
+        rt.run(|| {
+            let em = EpochManager::new();
+            let checker = InvariantChecker::new();
+            em.set_observer(checker.clone());
+            {
+                let tok = em.register();
+                tok.pin();
+                tok.defer_delete(alloc_local(&rt, 7u64));
+                tok.unpin();
+            }
+            // The planted bug: free the current epoch's limbo list with
+            // zero advances. The objects really are freed (no task holds a
+            // reference here), but the checker must flag the protocol
+            // violation.
+            let freed = em.debug_reclaim_current_epoch_early();
+            assert_eq!(freed, 1);
+            let errs = checker.check().unwrap_err();
+            assert!(
+                errs.iter().any(|e| e.contains("early reclamation")),
+                "checker must catch the planted early free: {errs:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn clear_does_not_trip_the_observer() {
+        use pgas_sim::faults::invariants::InvariantChecker;
+        let rt = zrt(2);
+        rt.run(|| {
+            let em = EpochManager::new();
+            let checker = InvariantChecker::new();
+            em.set_observer(checker.clone());
+            {
+                let tok = em.register();
+                tok.pin();
+                tok.defer_delete(alloc_on(&rt, 1, 1u64));
+                tok.unpin();
+            }
+            em.clear();
+            assert_eq!(rt.live_objects(), 0);
+            checker.check().expect("clear() is exempt from age rules");
         });
     }
 

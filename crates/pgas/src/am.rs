@@ -94,6 +94,12 @@ pub(crate) fn progress_loop(core: Arc<RuntimeCore>, locale: LocaleId, rx: Receiv
     let _guard = unsafe { crate::ctx::enter(Arc::as_ptr(&core), locale) };
     let net = &core.config.network;
     let slots = &core.locale(locale).server;
+    // A fault plan may name this locale as the straggler: its handler
+    // dispatch is slowed by a constant multiplier for the whole run (the
+    // multiplier is cached on the locale at construction).
+    let handler_ns = net
+        .am_handler_ns
+        .saturating_mul(core.locale(locale).am_slowdown);
     while let Ok(msg) = rx.recv() {
         match msg {
             AmMsg::Shutdown => break,
@@ -102,7 +108,7 @@ pub(crate) fn progress_loop(core: Arc<RuntimeCore>, locale: LocaleId, rx: Receiv
                 // frees up first, regardless of which OS thread we are.
                 let (slot, free_at) = slots.acquire();
                 let start = free_at.max(send_vtime);
-                vtime::set(start + net.am_handler_ns);
+                vtime::set(start + handler_ns);
                 // Count before the body runs: the thunk's last act is the
                 // reply send, and the unblocked sender may read the stats
                 // immediately — the counter must already be there.
@@ -133,11 +139,54 @@ pub(crate) fn remote_call(
 ) {
     debug_assert_ne!(src, dest, "remote_call requires a remote destination");
     let cfg = &core.config.network;
-    core.locale(src)
-        .stats
+    let stats = &core.locale(src).stats;
+
+    // Fault injection, part 1: drop + retry. Only idempotent-class sends
+    // are droppable; a dropped message is lost *before* execution, so the
+    // sender pays the wire cost plus the detection timeout and backoff,
+    // then re-sends. After `max_attempts` consecutive drops the send is
+    // escalated to a reliable channel (the loop below cannot drop it), so
+    // the operation never hangs.
+    if let Some(fs) = core.faults() {
+        if crate::faults::current_class() == crate::faults::OpClass::Idempotent {
+            let mut attempt = 0;
+            while attempt < fs.max_attempts() && fs.inject_drop() {
+                stats
+                    .am_sent
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats
+                    .injected_drops
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                vtime::charge(cfg.am_wire_ns + fs.retry_penalty_ns(attempt));
+                stats
+                    .retries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                attempt += 1;
+            }
+            if attempt >= fs.max_attempts() {
+                stats
+                    .gave_up
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+
+    stats
         .am_sent
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let send_vtime = vtime::now() + cfg.am_wire_ns;
+    let mut send_vtime = vtime::now() + cfg.am_wire_ns;
+    let mut duplicate = false;
+    // Fault injection, part 2: arrival delay and duplicate delivery for
+    // the send that actually goes through.
+    if let Some(fs) = core.faults() {
+        if let Some(extra) = fs.inject_delay() {
+            stats
+                .injected_delays
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            send_vtime += extra;
+        }
+        duplicate = fs.inject_dup();
+    }
 
     let (tx, rx) = pooled_reply_channel();
     let reply_tx = tx.clone();
@@ -155,6 +204,21 @@ pub(crate) fn remote_call(
     let thunk: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(thunk) };
 
     core.send_am(dest, AmMsg::Call { thunk, send_vtime });
+    if duplicate {
+        // At-least-once delivery: the network delivered a second copy.
+        // The receiver's dedup discards it, modelled as a no-op handler
+        // that still occupies a server slot and pays dispatch cost.
+        stats
+            .injected_dups
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        core.send_am(
+            dest,
+            AmMsg::Call {
+                thunk: Box::new(|| {}),
+                send_vtime,
+            },
+        );
+    }
 
     let (out, end) = rx
         .recv()
@@ -180,11 +244,24 @@ pub(crate) fn remote_post(
 ) -> (Sender<Reply>, Receiver<Reply>) {
     debug_assert_ne!(src, dest, "remote_post requires a remote destination");
     let cfg = &core.config.network;
-    core.locale(src)
-        .stats
+    let stats = &core.locale(src).stats;
+    stats
         .am_sent
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let send_vtime = vtime::now() + cfg.am_wire_ns;
+    let mut send_vtime = vtime::now() + cfg.am_wire_ns;
+    let mut duplicate = false;
+    // Fire-and-forget sends have no retry loop (the sender is not blocked
+    // and cannot observe a timeout), so drops are not injected here — only
+    // delay and duplication, both of which preserve delivery.
+    if let Some(fs) = core.faults() {
+        if let Some(extra) = fs.inject_delay() {
+            stats
+                .injected_delays
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            send_vtime += extra;
+        }
+        duplicate = fs.inject_dup();
+    }
 
     let (tx, rx) = pooled_reply_channel();
     let reply_tx = tx.clone();
@@ -196,5 +273,17 @@ pub(crate) fn remote_post(
         let _ = reply_tx.send((out, end));
     });
     core.send_am(dest, AmMsg::Call { thunk, send_vtime });
+    if duplicate {
+        stats
+            .injected_dups
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        core.send_am(
+            dest,
+            AmMsg::Call {
+                thunk: Box::new(|| {}),
+                send_vtime,
+            },
+        );
+    }
     (tx, rx)
 }

@@ -54,11 +54,33 @@ pub fn route_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
     let net = &core.config.network;
     if net.network_atomics {
         // All 64-bit atomics go through the NIC, local or not.
-        core.locale(here)
-            .stats
-            .rdma_atomics
-            .fetch_add(1, Ordering::Relaxed);
+        let stats = &core.locale(here).stats;
+        stats.rdma_atomics.fetch_add(1, Ordering::Relaxed);
         vtime::charge(net.nic_atomic_ns);
+        // Fault injection on the one-sided path (remote targets only:
+        // delay and drop model wire faults). A dropped RDMA request is
+        // retransmitted by the NIC transport after a timeout; transport
+        // sequence numbers make the retry exactly-once, so — unlike the
+        // AM path — this is safe for *any* operation class. The memory
+        // effect is applied by the caller exactly once, after routing.
+        if let Some(fs) = core.faults() {
+            if owner != here {
+                if let Some(extra) = fs.inject_delay() {
+                    stats.injected_delays.fetch_add(1, Ordering::Relaxed);
+                    vtime::charge(extra);
+                }
+                let mut attempt = 0;
+                while attempt < fs.max_attempts() && fs.inject_drop() {
+                    stats.injected_drops.fetch_add(1, Ordering::Relaxed);
+                    vtime::charge(fs.retry_penalty_ns(attempt) + net.nic_atomic_ns);
+                    stats.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                if attempt >= fs.max_attempts() {
+                    stats.gave_up.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         AtomicPath::Nic
     } else if owner == here {
         core.locale(here)

@@ -128,6 +128,10 @@ pub struct RuntimeConfig {
     /// Maximum operations a single combined active message may carry;
     /// larger drains are shipped as consecutive chunks in announce order.
     pub combine_max_batch: usize,
+    /// Seeded fault-injection plan (see [`crate::faults`]). `None` — the
+    /// default — disables every injection hook; counters and virtual-time
+    /// charges are then bit-identical to a faults-free build.
+    pub faults: Option<crate::faults::FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -140,6 +144,7 @@ impl Default for RuntimeConfig {
             pointer_mode: PointerMode::Compressed,
             combining: false,
             combine_max_batch: 64,
+            faults: None,
         }
     }
 }
@@ -219,6 +224,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Install a seeded fault-injection plan (see [`crate::faults`]).
+    pub fn with_faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Validate invariants, panicking with a descriptive message on
     /// misconfiguration.
     pub(crate) fn validate(&self) {
@@ -242,6 +253,9 @@ impl RuntimeConfig {
             self.combine_max_batch >= 1,
             "combined messages must carry at least one operation"
         );
+        if let Some(plan) = &self.faults {
+            plan.validate(self.num_locales);
+        }
     }
 }
 

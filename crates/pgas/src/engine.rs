@@ -787,6 +787,79 @@ mod tests {
     }
 
     #[test]
+    fn poll_idle_on_an_empty_batcher_is_a_noop_forever() {
+        let rt = Runtime::new(RuntimeConfig::zero_latency(2));
+        rt.run(|| {
+            let flushed = AtomicU64::new(0);
+            let mut agg = Batcher::new(&rt, 16, |_, _: Vec<u64>| {
+                flushed.fetch_add(1, Ordering::Relaxed);
+            });
+            // No destination has ever buffered anything: polling must
+            // neither arm, flush, nor count.
+            for _ in 0..5 {
+                assert!(!agg.poll_idle());
+            }
+            assert_eq!(flushed.load(Ordering::Relaxed), 0);
+            assert_eq!(agg.flushes(), 0);
+            assert!(rt.total_comm().is_zero(), "idle polls are free");
+        });
+    }
+
+    #[test]
+    fn single_buffered_item_flushes_after_exactly_one_idle_poll() {
+        let rt = Runtime::new(RuntimeConfig::zero_latency(2));
+        rt.run(|| {
+            let got: parking_lot::Mutex<Vec<(LocaleId, u64)>> = parking_lot::Mutex::new(Vec::new());
+            let mut agg = Batcher::new(&rt, 64, |dest, b: Vec<u64>| {
+                let mut g = got.lock();
+                for v in b {
+                    g.push((dest, v));
+                }
+            });
+            agg.aggregate(1, 99);
+            assert!(!agg.poll_idle(), "first poll after traffic only arms");
+            assert!(agg.poll_idle(), "second idle poll flushes the straggler");
+            assert_eq!(*got.lock(), vec![(1, 99)], "right payload, right dest");
+            // The cycle restarts cleanly: new traffic re-arms from scratch.
+            agg.aggregate(0, 5);
+            assert!(!agg.poll_idle());
+            assert!(agg.poll_idle());
+            assert_eq!(got.lock().len(), 2);
+        });
+    }
+
+    #[test]
+    fn poll_idle_sweeps_watermark_leftovers() {
+        let rt = Runtime::new(RuntimeConfig::zero_latency(4));
+        rt.run(|| {
+            let sink = AtomicU64::new(0);
+            let mut agg = Batcher::new(&rt, 1024, |_, b: Vec<u64>| {
+                sink.fetch_add(b.len() as u64, Ordering::Relaxed);
+            })
+            .with_high_watermark(6);
+            // 9 items over 3 destinations: the watermark drains only the
+            // fullest buffer when total pending hits 6, leaving stragglers
+            // that nothing but poll_idle would ever flush.
+            for i in 0..9u64 {
+                agg.aggregate((i % 3) as LocaleId, i);
+            }
+            let leftovers = agg.pending();
+            assert!(
+                leftovers > 0 && leftovers < 9,
+                "watermark must have drained some but not all ({leftovers})"
+            );
+            assert!(
+                !agg.poll_idle(),
+                "poll 1: traffic since last poll, arm only"
+            );
+            assert!(agg.poll_idle(), "poll 2: idle, sweep the stragglers");
+            assert_eq!(agg.pending(), 0);
+            assert_eq!(sink.load(Ordering::Relaxed), 9, "no item lost or doubled");
+            assert!(!agg.poll_idle(), "empty again: back to no-op polls");
+        });
+    }
+
+    #[test]
     fn aggregation_beats_per_item_messages_in_vtime() {
         let n = 512u64;
         // per-item remote ops

@@ -262,30 +262,38 @@ fn ship(core: &RuntimeCore, src: LocaleId, dest: LocaleId, batch: &[NodePtr]) {
         stats.am_batches.fetch_add(1, Ordering::Relaxed);
         stats.am_batch_items.fetch_add(n, Ordering::Relaxed);
         let riders: Vec<NodePtr> = chunk.to_vec();
-        am::remote_call(
-            core,
-            src,
-            dest,
-            Box::new(move || {
-                for p in &riders {
-                    // SAFETY: the publishing task blocks in `submit` until
-                    // `done`, keeping the node alive; only this handler
-                    // touches the thunk/panic cells before `done` is set.
-                    unsafe {
-                        let rider = &*p.0;
-                        comm::charge_combine_item(core);
-                        let thunk = (*rider.thunk.get())
-                            .take()
-                            .expect("combined operation executed twice");
-                        if let Err(payload) = catch_unwind(AssertUnwindSafe(thunk)) {
-                            *rider.panic.get() = Some(payload);
+        // The combiner may have been elected while *its own* operation was
+        // in an idempotent-class scope, but the batch carries other tasks'
+        // riders (CAS publishes, deferred frees) that must execute exactly
+        // once. Pin the send to the non-droppable class so fault injection
+        // can never lose a combined message, whatever the electing task's
+        // class was.
+        crate::faults::with_class(crate::faults::OpClass::NonIdempotent, || {
+            am::remote_call(
+                core,
+                src,
+                dest,
+                Box::new(move || {
+                    for p in &riders {
+                        // SAFETY: the publishing task blocks in `submit` until
+                        // `done`, keeping the node alive; only this handler
+                        // touches the thunk/panic cells before `done` is set.
+                        unsafe {
+                            let rider = &*p.0;
+                            comm::charge_combine_item(core);
+                            let thunk = (*rider.thunk.get())
+                                .take()
+                                .expect("combined operation executed twice");
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(thunk)) {
+                                *rider.panic.get() = Some(payload);
+                            }
+                            rider.end_vtime.store(vtime::now(), Ordering::Relaxed);
+                            rider.done.store(true, Ordering::Release);
                         }
-                        rider.end_vtime.store(vtime::now(), Ordering::Relaxed);
-                        rider.done.store(true, Ordering::Release);
                     }
-                }
-            }),
-        );
+                }),
+            );
+        });
     }
 }
 
@@ -358,6 +366,59 @@ mod tests {
             assert_eq!(s.am_sent, 1);
             assert_eq!(s.combines, 0, "toggle off must use the plain AM path");
             assert_eq!(s.combined_ops, 0);
+        });
+    }
+
+    #[test]
+    fn combined_batches_survive_fault_injection_in_fifo_order() {
+        use crate::faults::{with_class, FaultPlan, OpClass};
+        // Aggressive drops + dups + delays. Combined messages are pinned
+        // to the non-droppable class by `ship`, so even with every task in
+        // an idempotent scope nothing may be lost, and each task's ops
+        // must still execute in announce (issue) order.
+        let rt = Runtime::new(
+            RuntimeConfig::zero_latency(2)
+                .without_network_atomics()
+                .with_combining(true)
+                .with_faults(
+                    FaultPlan::seeded(77)
+                        .with_drops(500)
+                        .with_dups(300)
+                        .with_delays(300, 2_000),
+                ),
+        );
+        rt.run(|| {
+            let tasks = 4usize;
+            let per_task = 50u64;
+            let order: Vec<parking_lot::Mutex<Vec<u64>>> = (0..tasks)
+                .map(|_| parking_lot::Mutex::new(Vec::new()))
+                .collect();
+            let order = &order;
+            rt.coforall_tasks(tasks, |t| {
+                for i in 0..per_task {
+                    with_class(OpClass::Idempotent, || {
+                        rt.on_combining(1, || {
+                            order[t].lock().push(i);
+                        })
+                    });
+                }
+            });
+            let s = rt.total_comm();
+            for (t, seen) in order.iter().enumerate() {
+                let seen = seen.lock();
+                assert_eq!(seen.len() as u64, per_task, "task {t}: nothing lost");
+                assert!(
+                    seen.windows(2).all(|w| w[0] < w[1]),
+                    "task {t}: per-destination FIFO broken: {:?}",
+                    &*seen
+                );
+            }
+            assert_eq!(s.combined_ops, tasks as u64 * per_task);
+            assert_eq!(
+                s.injected_drops, 0,
+                "combined messages are never droppable, whatever the \
+                 electing task's class scope"
+            );
         });
     }
 

@@ -57,6 +57,7 @@ pub(crate) mod comm;
 pub mod config;
 pub mod ctx;
 pub mod engine;
+pub mod faults;
 pub mod globalptr;
 pub mod heap;
 pub mod locale;
@@ -71,6 +72,7 @@ pub use barrier::DistBarrier;
 pub use config::{NetworkConfig, PointerMode, RuntimeConfig};
 pub use ctx::{current_runtime, here, try_here};
 pub use engine::{AtomicPath, Batcher, CommEngine, Completion};
+pub use faults::{FaultPlan, OpClass, RetryPolicy};
 pub use globalptr::{GlobalPtr, LocaleId, WideGlobalPtr};
 pub use heap::{
     alloc_local, alloc_on, free, free_erased, free_erased_batch, free_erased_local_batch, Erased,
@@ -80,8 +82,3 @@ pub use privatized::Privatized;
 pub use reduce::{all_locales, any_locales, max_locales, min_locales, reduce_locales, sum_locales};
 pub use runtime::{Runtime, RuntimeCore, RuntimeHandle};
 pub use stats::{CommSnapshot, CommStats, HeapStats};
-
-/// Former name of [`engine::Batcher`]; the `aggregate` shim module is gone.
-/// Kept as a deprecated alias for one release.
-#[deprecated(note = "use `Batcher` (engine::Batcher) instead")]
-pub type Aggregator<'h, T> = engine::Batcher<'h, T>;

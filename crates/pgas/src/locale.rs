@@ -120,6 +120,11 @@ pub struct Locale {
     pub(crate) combine: CombineHub,
     /// Submission side of the AM queue; all progress threads share it.
     pub(crate) am_tx: Sender<AmMsg>,
+    /// AM-handler dispatch-cost multiplier: 1 normally, larger when a
+    /// fault plan (see [`crate::faults`]) names this locale as the
+    /// straggler. Cached here at construction so progress threads read it
+    /// without consulting the plan per message.
+    pub(crate) am_slowdown: u64,
 }
 
 impl Locale {
@@ -128,6 +133,7 @@ impl Locale {
         progress_threads: usize,
         num_locales: usize,
         am_tx: Sender<AmMsg>,
+        am_slowdown: u64,
     ) -> Self {
         Locale {
             id,
@@ -136,6 +142,7 @@ impl Locale {
             server: ServerSlots::new(progress_threads),
             combine: CombineHub::new(num_locales),
             am_tx,
+            am_slowdown,
         }
     }
 

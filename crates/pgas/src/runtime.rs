@@ -58,6 +58,9 @@ pub struct RuntimeCore {
     pub config: RuntimeConfig,
     locales: Box<[Locale]>,
     engine: Box<dyn CommEngine>,
+    /// Live fault-injection state, built from [`RuntimeConfig::faults`];
+    /// `None` (the default) short-circuits every injection hook.
+    faults: Option<crate::faults::FaultState>,
     shutdown: AtomicBool,
     self_weak: Weak<RuntimeCore>,
 }
@@ -100,18 +103,25 @@ impl Runtime {
                 .map(|id| {
                     let (tx, rx) = unbounded();
                     receivers.push(rx);
+                    let am_slowdown = config
+                        .faults
+                        .as_ref()
+                        .map_or(1, |p| p.slowdown_for(id as LocaleId));
                     Locale::new(
                         id as LocaleId,
                         config.progress_threads,
                         config.num_locales,
                         tx,
+                        am_slowdown,
                     )
                 })
                 .collect();
+            let faults = config.faults.clone().map(crate::faults::FaultState::new);
             RuntimeCore {
                 config,
                 locales,
                 engine: Box::new(SimEngine),
+                faults,
                 shutdown: AtomicBool::new(false),
                 self_weak: self_weak.clone(),
             }
@@ -182,6 +192,13 @@ impl RuntimeCore {
     /// Iterate over all locales.
     pub fn locales(&self) -> impl Iterator<Item = &Locale> {
         self.locales.iter()
+    }
+
+    /// The live fault-injection state, if a [`crate::faults::FaultPlan`]
+    /// was installed in the configuration.
+    #[inline]
+    pub fn faults(&self) -> Option<&crate::faults::FaultState> {
+        self.faults.as_ref()
     }
 
     /// A cloneable handle to this runtime.

@@ -108,6 +108,20 @@ counters! {
     bulk_frees,
     /// Objects released through bulk frees.
     bulk_freed_objects,
+    /// Remote operations re-sent after a fault-injected drop or timeout
+    /// (see [`crate::faults`]). Always zero without a fault plan.
+    retries,
+    /// Remote operations whose retry budget was exhausted and that were
+    /// escalated to a reliable (un-droppable) send. Always zero without a
+    /// fault plan.
+    gave_up,
+    /// Sends dropped by fault injection before reaching the destination.
+    injected_drops,
+    /// Remote operations whose arrival was delayed by fault injection.
+    injected_delays,
+    /// Deliveries duplicated by fault injection (the duplicate is
+    /// discarded by the receiver after paying dispatch cost).
+    injected_dups,
 }
 
 impl CommSnapshot {
