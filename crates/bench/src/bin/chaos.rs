@@ -20,7 +20,7 @@ use std::sync::{Arc, Mutex};
 
 use pgas_nb::prelude::*;
 use pgas_nb::sim::faults::invariants::InvariantChecker;
-use pgas_nb::sim::{faults, CommSnapshot, FaultPlan, OpClass, RetryPolicy};
+use pgas_nb::sim::{faults, telemetry, FaultPlan, OpClass, RetryPolicy, TelemetrySnapshot};
 
 const LOCALES: usize = 4;
 const TASKS_PER_LOCALE: usize = 2;
@@ -111,7 +111,7 @@ fn cfg(plan: &FaultPlan) -> RuntimeConfig {
 
 struct CellOutcome {
     ops: u64,
-    comm: CommSnapshot,
+    telemetry: TelemetrySnapshot,
     failures: Vec<String>,
 }
 
@@ -333,7 +333,8 @@ fn run_cell(plan: &FaultPlan, wl: Workload, sc: &Scale) -> CellOutcome {
         Workload::Map => map_cell(&rt, plan, &checker, sc, &ops, &log),
     });
     let mut failures = log.into_inner().unwrap();
-    let comm = rt.total_comm();
+    let telemetry = rt.total_telemetry();
+    let comm = telemetry.comm;
     let ops = ops.load(Ordering::Relaxed);
 
     // Progress: every worker must have completed its full loop even with a
@@ -367,12 +368,24 @@ fn run_cell(plan: &FaultPlan, wl: Workload, sc: &Scale) -> CellOutcome {
             failures.push(format!("{count} uninvited {name} injected"));
         }
     }
+    // The telemetry registry must agree with the counters: every retry
+    // the counter half saw must have left exactly one backoff sample in
+    // the latency half (they are incremented together at the charge
+    // points).
+    let retry_samples = telemetry.class(telemetry::OpClass::Retry).count();
+    if retry_samples != comm.retries {
+        failures.push(format!(
+            "retry telemetry drifted from the retries counter: \
+             {retry_samples} samples vs {} retries",
+            comm.retries
+        ));
+    }
     if let Err(violations) = checker.check() {
         failures.extend(violations);
     }
     CellOutcome {
         ops,
-        comm,
+        telemetry,
         failures,
     }
 }
@@ -481,17 +494,24 @@ fn main() -> ExitCode {
     for (pname, plan) in build_plans(seed) {
         for &wl in &workloads {
             let out = run_cell(&plan, wl, sc);
+            let comm = &out.telemetry.comm;
             let detail = format!(
                 "ops={} drops={} delays={} dups={} retries={} gave_up={}",
                 out.ops,
-                out.comm.injected_drops,
-                out.comm.injected_delays,
-                out.comm.injected_dups,
-                out.comm.retries,
-                out.comm.gave_up,
+                comm.injected_drops,
+                comm.injected_delays,
+                comm.injected_dups,
+                comm.retries,
+                comm.gave_up,
             );
             let ok = out.failures.is_empty();
             print_row(pname, wl.label(), &detail, ok);
+            if !ok {
+                // Full registry snapshot for the failing cell — rendered,
+                // not hand-picked, so nothing is missing when debugging.
+                println!("    comm: {}", comm.to_json());
+                println!("    latency: {}", out.telemetry.latency_json());
+            }
             for f in &out.failures {
                 println!("    !! {f}");
                 failed += 1;

@@ -7,28 +7,39 @@
 //! cargo run -p pgas-bench --release --bin harness -- fig4 fig5 fig6 fig7
 //! cargo run -p pgas-bench --release --bin harness -- ablations
 //! cargo run -p pgas-bench --release --bin harness -- --quick all
+//! cargo run -p pgas-bench --release --bin harness -- --quick --trace target/trace.jsonl ablations
 //! ```
 //!
 //! Each figure prints one row per measured point. `vtime` is the virtual
 //! makespan from the simulator's Aries-class cost model (the number whose
 //! *shape* reproduces the paper); `wall` is host wall-clock time and only
-//! meaningful as an implementation-overhead sanity check.
+//! meaningful as an implementation-overhead sanity check. Everything
+//! printed is also teed to `target/harness_output.txt`.
 //!
 //! Every measured row is also collected and written to
 //! `BENCH_results.json` as `{name, locales, vtime_ns, ns_per_op, mops,
 //! am_count, retries, gave_up, injected_drops, injected_delays,
-//! injected_dups}` so CI (and plotting scripts) can consume the run
-//! without scraping the text output. `locales` is the row's sweep
+//! injected_dups, comm, latency}` so CI (and plotting scripts) can consume
+//! the run without scraping the text output. `locales` is the row's sweep
 //! coordinate (the task count for shared-memory panels, the hop count for
 //! A6); `am_count` is null for series that do not report an AM total. The
-//! last five fields are the fault-injection counters — always zero here
-//! (the harness never installs a fault plan), which CI asserts so a chaos
-//! configuration can never leak into the performance baselines.
+//! five fault-injection counters are always zero here (the harness never
+//! installs a fault plan), which CI asserts so a chaos configuration can
+//! never leak into the performance baselines. `comm` is the full counter
+//! snapshot ([`CommSnapshot::to_json`], null for series without one) and
+//! `latency` the per-op-class p50/p99/max/mean summary rendered from the
+//! telemetry registry ([`TelemetrySnapshot::latency_json`]).
+//!
+//! `--trace PATH` installs a [`JsonLinesSink`] on every runtime the
+//! workloads build, dumping one JSON span per remote operation
+//! (issue/arrive/start/end virtual times) — see DESIGN.md "Telemetry".
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use pgas_nb::sim::CommSnapshot;
+use pgas_nb::sim::telemetry::JsonLinesSink;
+use pgas_nb::sim::{CommSnapshot, TelemetrySnapshot};
 
+use pgas_bench::json::{jnum, jstr};
 use pgas_bench::{
     ablate_combining, ablate_election, ablate_local_manager, ablate_privatization,
     ablate_reclamation_scheme, ablate_scatter, ablate_wide, comm_breakdown, fig3_dist, fig3_shared,
@@ -36,28 +47,18 @@ use pgas_bench::{
     TASK_SWEEP,
 };
 
-/// Fault-injection counters carried on every row. All-zero on a clean
-/// (fault-free) run — CI's perf guard asserts exactly that, so a fault
-/// plan accidentally left enabled can never masquerade as a regression.
-#[derive(Default, Clone, Copy)]
-struct ChaosCounters {
-    retries: u64,
-    gave_up: u64,
-    injected_drops: u64,
-    injected_delays: u64,
-    injected_dups: u64,
-}
+/// Everything printed this run, teed to `target/harness_output.txt` so a
+/// full-scale run's text output survives without polluting the repo root.
+static OUTPUT: Mutex<String> = Mutex::new(String::new());
 
-impl ChaosCounters {
-    fn from_comm(c: &CommSnapshot) -> ChaosCounters {
-        ChaosCounters {
-            retries: c.retries,
-            gave_up: c.gave_up,
-            injected_drops: c.injected_drops,
-            injected_delays: c.injected_delays,
-            injected_dups: c.injected_dups,
-        }
-    }
+macro_rules! say {
+    ($($arg:tt)*) => {{
+        let line = format!($($arg)*);
+        println!("{line}");
+        let mut buf = OUTPUT.lock().unwrap();
+        buf.push_str(&line);
+        buf.push('\n');
+    }};
 }
 
 /// One row of `BENCH_results.json`.
@@ -68,7 +69,11 @@ struct Record {
     ns_per_op: f64,
     mops: f64,
     am_count: Option<u64>,
-    chaos: ChaosCounters,
+    /// Full counter snapshot for rows measured with a runtime in hand.
+    comm: Option<CommSnapshot>,
+    /// `TelemetrySnapshot::latency_json()` — `{}` when no registry was
+    /// captured for this row.
+    latency: String,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -101,21 +106,14 @@ const QUICK: Scale = Scale {
 };
 
 fn row(label: &str, x_name: &str, x: usize, extra: &str, s: Sample) {
-    row_full(label, x_name, x, extra, s, None, ChaosCounters::default());
+    row_full(label, x_name, x, extra, s, None);
 }
 
-/// A row whose runtime exposed a [`CommSnapshot`]: records the AM total
-/// and the fault-injection counters alongside the timing.
-fn row_comm(label: &str, x_name: &str, x: usize, extra: &str, s: Sample, comm: &CommSnapshot) {
-    row_full(
-        label,
-        x_name,
-        x,
-        extra,
-        s,
-        Some(comm.am_sent),
-        ChaosCounters::from_comm(comm),
-    );
+/// A row whose runtime exposed a [`TelemetrySnapshot`]: records the AM
+/// total, the full counter snapshot, and the per-class latency summary
+/// alongside the timing.
+fn row_comm(label: &str, x_name: &str, x: usize, extra: &str, s: Sample, t: &TelemetrySnapshot) {
+    row_full(label, x_name, x, extra, s, Some(t));
 }
 
 fn row_full(
@@ -124,10 +122,9 @@ fn row_full(
     x: usize,
     extra: &str,
     s: Sample,
-    am: Option<u64>,
-    chaos: ChaosCounters,
+    telemetry: Option<&TelemetrySnapshot>,
 ) {
-    println!(
+    say!(
         "{label:<34} {x_name}={x:<3} {extra:<18} vtime={:>12.3} ms  \
          ns/op={:>9.1}  mops={:>8.2}  wall={:>8.1} ms",
         s.vtime_ns as f64 / 1e6,
@@ -153,73 +150,49 @@ fn row_full(
         vtime_ns: s.vtime_ns,
         ns_per_op: s.ns_per_op(),
         mops: s.mops(),
-        am_count: am,
-        chaos,
+        am_count: telemetry.map(|t| t.comm.am_sent),
+        comm: telemetry.map(|t| t.comm),
+        latency: telemetry.map_or_else(|| "{}".to_string(), |t| t.latency_json()),
     });
-}
-
-/// Minimal JSON string escape (the harness only emits ASCII labels, but a
-/// backslash or quote must not corrupt the file).
-fn jstr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// A JSON number, or `null` for non-finite values (infinite mops on a
-/// zero-vtime row must not produce invalid JSON).
-fn jnum(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "null".to_string()
-    }
 }
 
 fn write_results_json(path: &str) {
     let recs = RECORDS.lock().unwrap();
     let mut out = String::from("[\n");
     for (i, r) in recs.iter().enumerate() {
+        let chaos = r.comm.unwrap_or_default();
         out.push_str(&format!(
             "  {{\"name\": {}, \"locales\": {}, \"vtime_ns\": {}, \
              \"ns_per_op\": {}, \"mops\": {}, \"am_count\": {}, \
              \"retries\": {}, \"gave_up\": {}, \"injected_drops\": {}, \
-             \"injected_delays\": {}, \"injected_dups\": {}}}{}\n",
+             \"injected_delays\": {}, \"injected_dups\": {}, \
+             \"comm\": {}, \"latency\": {}}}{}\n",
             jstr(&r.name),
             r.locales,
             r.vtime_ns,
             jnum(r.ns_per_op),
             jnum(r.mops),
             r.am_count.map_or("null".to_string(), |a| a.to_string()),
-            r.chaos.retries,
-            r.chaos.gave_up,
-            r.chaos.injected_drops,
-            r.chaos.injected_delays,
-            r.chaos.injected_dups,
+            chaos.retries,
+            chaos.gave_up,
+            chaos.injected_drops,
+            chaos.injected_delays,
+            chaos.injected_dups,
+            r.comm.map_or("null".to_string(), |c| c.to_json()),
+            r.latency,
             if i + 1 < recs.len() { "," } else { "" },
         ));
     }
     out.push_str("]\n");
     match std::fs::write(path, out) {
-        Ok(()) => println!("results: {path} ({} rows)", recs.len()),
+        Ok(()) => say!("results: {path} ({} rows)", recs.len()),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
 
 fn fig3(sc: &Scale) {
-    println!(
-        "\n=== Figure 3: AtomicObject vs atomic int (25/25/25/25 read/write/CAS/exchange) ==="
-    );
-    println!("--- shared memory: strong scaling over tasks, 1 locale ---");
+    say!("\n=== Figure 3: AtomicObject vs atomic int (25/25/25/25 read/write/CAS/exchange) ===");
+    say!("--- shared memory: strong scaling over tasks, 1 locale ---");
     for net in [true, false] {
         let net_lbl = if net {
             "net-atomics=on"
@@ -236,12 +209,12 @@ fn fig3(sc: &Scale) {
                     tasks,
                     net_lbl,
                     s,
-                    &rt.total_comm(),
+                    &rt.total_telemetry(),
                 );
             }
         }
     }
-    println!("--- distributed: strong scaling over locales, 4 tasks/locale ---");
+    say!("--- distributed: strong scaling over locales, 4 tasks/locale ---");
     for net in [true, false] {
         let net_lbl = if net {
             "net-atomics=on"
@@ -252,19 +225,10 @@ fn fig3(sc: &Scale) {
             for &locales in &LOCALE_SWEEP {
                 let rt = runtime(locales, net);
                 let s = fig3_dist(&rt, 4, sc.fig3_ops, variant);
-                row_comm(
-                    variant.label(),
-                    "locales",
-                    locales,
-                    net_lbl,
-                    s,
-                    &rt.total_comm(),
-                );
+                let t = rt.total_telemetry();
+                row_comm(variant.label(), "locales", locales, net_lbl, s, &t);
                 if locales == *LOCALE_SWEEP.last().unwrap() {
-                    println!(
-                        "    └─ comm @{locales} locales: {}",
-                        comm_breakdown(&rt.total_comm())
-                    );
+                    say!("    └─ comm @{locales} locales: {}", comm_breakdown(&t));
                 }
             }
         }
@@ -281,20 +245,18 @@ fn fig_deletion_sweep(name: &str, objects: usize, per_iter: Option<u64>, remote_
         for &locales in &LOCALE_SWEEP {
             let rt = runtime(locales, net);
             let (s, stats) = fig_deletion(&rt, objects, per_iter, remote_pct);
-            row_comm(name, "locales", locales, net_lbl, s, &rt.total_comm());
+            let t = rt.total_telemetry();
+            row_comm(name, "locales", locales, net_lbl, s, &t);
             if locales == *LOCALE_SWEEP.last().unwrap() {
-                println!("    └─ reclaim stats @{locales} locales: {stats}");
-                println!(
-                    "    └─ comm @{locales} locales: {}",
-                    comm_breakdown(&rt.total_comm())
-                );
+                say!("    └─ reclaim stats @{locales} locales: {stats}");
+                say!("    └─ comm @{locales} locales: {}", comm_breakdown(&t));
             }
         }
     }
 }
 
 fn fig4(sc: &Scale) {
-    println!("\n=== Figure 4: deletion, tryReclaim every 1024 iterations ===");
+    say!("\n=== Figure 4: deletion, tryReclaim every 1024 iterations ===");
     fig_deletion_sweep(
         "deferDelete+tryReclaim/1024",
         sc.fig4_objects,
@@ -304,12 +266,12 @@ fn fig4(sc: &Scale) {
 }
 
 fn fig5(sc: &Scale) {
-    println!("\n=== Figure 5: deletion, tryReclaim every iteration ===");
+    say!("\n=== Figure 5: deletion, tryReclaim every iteration ===");
     fig_deletion_sweep("deferDelete+tryReclaim/1", sc.fig5_objects, Some(1), 50);
 }
 
 fn fig6(sc: &Scale) {
-    println!("\n=== Figure 6: deletion, reclamation only at end; remote ratio 0/50/100% ===");
+    say!("\n=== Figure 6: deletion, reclamation only at end; remote ratio 0/50/100% ===");
     for remote_pct in [0u32, 50, 100] {
         for &locales in &LOCALE_SWEEP {
             let rt = runtime(locales, true);
@@ -320,14 +282,14 @@ fn fig6(sc: &Scale) {
                 locales,
                 "net-atomics=on",
                 s,
-                &rt.total_comm(),
+                &rt.total_telemetry(),
             );
         }
     }
 }
 
 fn fig7(sc: &Scale) {
-    println!("\n=== Figure 7: read-only workload (pin/unpin), no deletion ===");
+    say!("\n=== Figure 7: read-only workload (pin/unpin), no deletion ===");
     for net in [true, false] {
         let net_lbl = if net {
             "net-atomics=on"
@@ -337,30 +299,21 @@ fn fig7(sc: &Scale) {
         for &locales in &LOCALE_SWEEP {
             let rt = runtime(locales, net);
             let s = fig7_read_only(&rt, 4, sc.fig7_iters);
-            row_comm(
-                "pin/unpin read-only",
-                "locales",
-                locales,
-                net_lbl,
-                s,
-                &rt.total_comm(),
-            );
+            let t = rt.total_telemetry();
+            row_comm("pin/unpin read-only", "locales", locales, net_lbl, s, &t);
             if locales == *LOCALE_SWEEP.last().unwrap() {
-                println!(
-                    "    └─ comm @{locales} locales: {}",
-                    comm_breakdown(&rt.total_comm())
-                );
+                say!("    └─ comm @{locales} locales: {}", comm_breakdown(&t));
             }
         }
     }
 }
 
 fn ablations(sc: &Scale) {
-    println!("\n=== Ablation A1: scatter-list bulk free vs per-object remote frees ===");
+    say!("\n=== Ablation A1: scatter-list bulk free vs per-object remote frees ===");
     for &locales in &[2usize, 4, 8] {
         for scatter in [true, false] {
             let rt = runtime(locales, true);
-            let (s, comm) = ablate_scatter(&rt, sc.ablate_objects, scatter);
+            let (s, t) = ablate_scatter(&rt, sc.ablate_objects, scatter);
             row_comm(
                 if scatter {
                     "A1 scatter=on "
@@ -369,17 +322,17 @@ fn ablations(sc: &Scale) {
                 },
                 "locales",
                 locales,
-                &format!("AMs={}", comm.am_sent),
+                &format!("AMs={}", t.comm.am_sent),
                 s,
-                &comm,
+                &t,
             );
             if locales == 8 {
-                println!("    └─ comm @{locales} locales: {}", comm_breakdown(&comm));
+                say!("    └─ comm @{locales} locales: {}", comm_breakdown(&t));
             }
         }
     }
 
-    println!("\n=== Ablation A2: privatized instance vs single shared instance ===");
+    say!("\n=== Ablation A2: privatized instance vs single shared instance ===");
     for &locales in &[2usize, 4, 8] {
         for privatized in [true, false] {
             let rt = runtime(locales, false);
@@ -394,12 +347,12 @@ fn ablations(sc: &Scale) {
                 locales,
                 "net-atomics=off",
                 s,
-                &rt.total_comm(),
+                &rt.total_telemetry(),
             );
         }
     }
 
-    println!("\n=== Ablation A3: reclamation election vs every-caller scans ===");
+    say!("\n=== Ablation A3: reclamation election vs every-caller scans ===");
     for &locales in &[2usize, 4, 8] {
         for elected in [true, false] {
             let rt = runtime(locales, true);
@@ -414,12 +367,12 @@ fn ablations(sc: &Scale) {
                 locales,
                 "tryReclaim/iter",
                 s,
-                &rt.total_comm(),
+                &rt.total_telemetry(),
             );
         }
     }
 
-    println!("\n=== Ablation A5: LocalEpochManager vs EpochManager (single locale) ===");
+    say!("\n=== Ablation A5: LocalEpochManager vs EpochManager (single locale) ===");
     for local in [true, false] {
         let (s, advances) = ablate_local_manager(sc.ablate_objects, local);
         row(
@@ -435,7 +388,7 @@ fn ablations(sc: &Scale) {
         );
     }
 
-    println!("\n=== Ablation A6: epoch-based reclamation vs hazard pointers ===");
+    say!("\n=== Ablation A6: epoch-based reclamation vs hazard pointers ===");
     for chain_len in [1usize, 8, 32] {
         for ebr in [true, false] {
             let (s, reclaimed) = ablate_reclamation_scheme(sc.fig3_ops / 16, chain_len, 64, ebr);
@@ -453,7 +406,7 @@ fn ablations(sc: &Scale) {
         }
     }
 
-    println!("\n=== Ablation A4: compressed pointers (RDMA) vs wide fallback (DCAS/AM) ===");
+    say!("\n=== Ablation A4: compressed pointers (RDMA) vs wide fallback (DCAS/AM) ===");
     for &locales in &[2usize, 4, 8] {
         for wide in [false, true] {
             let s = ablate_wide(locales, sc.fig3_ops / 4, wide);
@@ -467,11 +420,11 @@ fn ablations(sc: &Scale) {
         }
     }
 
-    println!("\n=== Ablation A7: remote-op combining ===");
+    say!("\n=== Ablation A7: remote-op combining ===");
     for workload in CombineWorkload::ALL {
         for &locales in &[2usize, 4, 8] {
             for combining in [false, true] {
-                let (s, comm) = ablate_combining(locales, sc.fig3_ops / 4, workload, combining);
+                let (s, t) = ablate_combining(locales, sc.fig3_ops / 4, workload, combining);
                 row_comm(
                     &format!(
                         "A7 {} combining={}",
@@ -480,9 +433,9 @@ fn ablations(sc: &Scale) {
                     ),
                     "locales",
                     locales,
-                    &format!("AMs={}", comm.am_sent),
+                    &format!("AMs={}", t.comm.am_sent),
                     s,
-                    &comm,
+                    &t,
                 );
             }
         }
@@ -490,21 +443,41 @@ fn ablations(sc: &Scale) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut trace_path: Option<String> = None;
+    let mut selectors: Vec<String> = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--trace" => {
+                trace_path = Some(it.next().expect("--trace takes a path").clone());
+            }
+            other => selectors.push(other.to_string()),
+        }
+    }
     let sc = if quick { &QUICK } else { &FULL };
     let wants = |name: &str| {
-        args.iter().any(|a| a == name) || args.iter().any(|a| a == "all") || args.is_empty()
+        selectors.iter().any(|a| a == name)
+            || selectors.iter().any(|a| a == "all")
+            || selectors.is_empty()
     };
 
-    println!(
+    say!(
         "pgas-nonblocking figure harness (scale: {})",
         if quick { "quick" } else { "full" }
     );
-    println!(
+    say!(
         "virtual-time model: Aries-class constants \
          (NIC atomic ~0.95us, AM ~2.5us round trip, CPU atomic 20ns)"
     );
+    if let Some(path) = &trace_path {
+        let sink = JsonLinesSink::create(path)
+            .unwrap_or_else(|e| panic!("could not create trace file {path}: {e}"));
+        pgas_bench::set_trace_sink(Arc::new(sink));
+        say!("span trace: {path} (one JSON object per remote operation)");
+    }
 
     let t0 = std::time::Instant::now();
     if wants("fig3") {
@@ -522,9 +495,19 @@ fn main() {
     if wants("fig7") {
         fig7(sc);
     }
-    if wants("ablations") || args.iter().any(|a| a.starts_with("ablate")) {
+    if wants("ablations") || selectors.iter().any(|a| a.starts_with("ablate")) {
         ablations(sc);
     }
     write_results_json("BENCH_results.json");
-    println!("\nharness done in {:.1}s", t0.elapsed().as_secs_f64());
+    pgas_bench::flush_trace_sink();
+    say!("\nharness done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // Tee the full text output under target/ (never the repo root).
+    let _ = std::fs::create_dir_all("target");
+    let text = OUTPUT.lock().unwrap();
+    if let Err(e) = std::fs::write("target/harness_output.txt", text.as_str()) {
+        eprintln!("could not write target/harness_output.txt: {e}");
+    } else {
+        println!("text output: target/harness_output.txt");
+    }
 }

@@ -1,0 +1,244 @@
+//! jq-free schema validator for the harness outputs, run by CI's
+//! `telemetry-overhead` job:
+//!
+//! ```text
+//! cargo run -p pgas-bench --release --bin validate_results -- BENCH_results.json
+//! cargo run -p pgas-bench --release --bin validate_results -- BENCH_results.json --trace target/trace.jsonl
+//! ```
+//!
+//! Checks, exiting nonzero with a message on the first class of violation:
+//!
+//! * the results file is a non-empty JSON array of row objects;
+//! * every row carries the legacy fields (`name`, `locales`, `vtime_ns`,
+//!   `ns_per_op`, `mops`, `am_count`, five chaos counters) with the right
+//!   types, plus the telemetry fields: `comm` (full counter object or
+//!   null, consistent with `am_count`) and `latency` (object mapping op
+//!   class → `{count, p50, p99, max, mean}` with `p50 ≤ p99 ≤ max`);
+//! * the A1 scatter rows CI pins are present;
+//! * with `--trace`, every line of the span trace parses and satisfies
+//!   `issue ≤ arrive ≤ start ≤ end`.
+
+use std::process::ExitCode;
+
+use pgas_bench::json::{parse, Value};
+
+/// Counter keys every `comm` object must carry (the `counters!` list).
+const COMM_KEYS: [&str; 22] = [
+    "rdma_atomics",
+    "cpu_atomics",
+    "cpu_dcas",
+    "am_sent",
+    "am_handled",
+    "am_batches",
+    "am_batch_items",
+    "combines",
+    "combined_ops",
+    "puts",
+    "gets",
+    "bytes_put",
+    "bytes_got",
+    "remote_allocs",
+    "remote_frees",
+    "bulk_frees",
+    "bulk_freed_objects",
+    "retries",
+    "gave_up",
+    "injected_drops",
+    "injected_delays",
+    "injected_dups",
+];
+
+fn num(row: &Value, key: &str) -> Result<f64, String> {
+    row.get(key)
+        .ok_or_else(|| format!("missing key {key:?}"))?
+        .as_num()
+        .ok_or_else(|| format!("key {key:?} is not a number"))
+}
+
+fn num_or_null(row: &Value, key: &str) -> Result<Option<f64>, String> {
+    let v = row.get(key).ok_or_else(|| format!("missing key {key:?}"))?;
+    if v.is_null() {
+        Ok(None)
+    } else {
+        v.as_num()
+            .map(Some)
+            .ok_or_else(|| format!("key {key:?} is neither number nor null"))
+    }
+}
+
+fn check_latency(lat: &Value) -> Result<(), String> {
+    let map = lat.as_obj().ok_or("latency is not an object")?;
+    for (class, h) in map {
+        let ctx = |e: String| format!("latency[{class:?}]: {e}");
+        let count = num(h, "count").map_err(ctx)?;
+        let p50 = num(h, "p50").map_err(ctx)?;
+        let p99 = num(h, "p99").map_err(ctx)?;
+        let max = num(h, "max").map_err(ctx)?;
+        let _mean = num(h, "mean").map_err(ctx)?;
+        if count < 1.0 {
+            return Err(format!("latency[{class:?}]: empty class was emitted"));
+        }
+        if !(p50 <= p99 && p99 <= max) {
+            return Err(format!(
+                "latency[{class:?}]: percentiles not ordered (p50={p50} p99={p99} max={max})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_row(row: &Value) -> Result<(), String> {
+    row.as_obj().ok_or("row is not an object")?;
+    let name = row
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("missing/invalid name")?;
+    let ctx = |e: String| format!("row {name:?}: {e}");
+    num(row, "locales").map_err(ctx)?;
+    num(row, "vtime_ns").map_err(ctx)?;
+    num_or_null(row, "ns_per_op").map_err(ctx)?;
+    num_or_null(row, "mops").map_err(ctx)?;
+    let am_count = num_or_null(row, "am_count").map_err(ctx)?;
+    for key in [
+        "retries",
+        "gave_up",
+        "injected_drops",
+        "injected_delays",
+        "injected_dups",
+    ] {
+        num(row, key).map_err(ctx)?;
+    }
+
+    let comm = row
+        .get("comm")
+        .ok_or("missing key \"comm\"")
+        .map_err(|e| ctx(e.into()))?;
+    match (comm.is_null(), am_count) {
+        (true, Some(_)) => return Err(ctx("am_count set but comm is null".into())),
+        (false, None) => return Err(ctx("comm set but am_count is null".into())),
+        (false, Some(am)) => {
+            for key in COMM_KEYS {
+                num(comm, key).map_err(|e| ctx(format!("comm: {e}")))?;
+            }
+            let am_sent = num(comm, "am_sent").unwrap();
+            if am_sent != am {
+                return Err(ctx(format!(
+                    "am_count ({am}) disagrees with comm.am_sent ({am_sent})"
+                )));
+            }
+        }
+        (true, None) => {}
+    }
+
+    let lat = row
+        .get("latency")
+        .ok_or("missing key \"latency\"")
+        .map_err(|e| ctx(e.into()))?;
+    check_latency(lat).map_err(ctx)?;
+
+    // A row measured with a runtime in hand must have latency samples:
+    // every remote (or tracked local) operation records into some class.
+    if !comm.is_null() && lat.as_obj().unwrap().is_empty() {
+        return Err(ctx("comm present but latency is empty".into()));
+    }
+    Ok(())
+}
+
+fn check_results(text: &str) -> Result<usize, String> {
+    let doc = parse(text)?;
+    let rows = doc.as_arr().ok_or("top level is not an array")?;
+    if rows.is_empty() {
+        return Err("results array is empty".into());
+    }
+    for row in rows {
+        check_row(row)?;
+    }
+    // The rows CI's perf guard pins must exist under their stable names.
+    for series in ["A1 scatter=on", "A1 scatter=off"] {
+        if !rows
+            .iter()
+            .any(|r| r.get("name").and_then(Value::as_str) == Some(series))
+        {
+            return Err(format!("pinned series {series:?} is missing"));
+        }
+    }
+    Ok(rows.len())
+}
+
+fn check_trace(text: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let span = parse(line).map_err(|e| format!("trace line {}: {e}", i + 1))?;
+        let ctx = |e: String| format!("trace line {}: {e}", i + 1);
+        span.get("class")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("missing/invalid class".into()))?;
+        num(&span, "src").map_err(ctx)?;
+        num(&span, "dest").map_err(ctx)?;
+        let issue = num(&span, "issue").map_err(ctx)?;
+        let arrive = num(&span, "arrive").map_err(ctx)?;
+        let start = num(&span, "start").map_err(ctx)?;
+        let end = num(&span, "end").map_err(ctx)?;
+        num(&span, "tag").map_err(ctx)?;
+        if !(issue <= arrive && arrive <= start && start <= end) {
+            return Err(ctx(format!(
+                "span stamps not ordered: issue={issue} arrive={arrive} start={start} end={end}"
+            )));
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err("trace file contains no spans".into());
+    }
+    Ok(n)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut results_path = None;
+    let mut trace_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace_path = Some(it.next().expect("--trace takes a path").clone()),
+            other => results_path = Some(other.to_string()),
+        }
+    }
+    let results_path = results_path.unwrap_or_else(|| "BENCH_results.json".to_string());
+
+    let text = match std::fs::read_to_string(&results_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate: cannot read {results_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_results(&text) {
+        Ok(n) => println!("validate: {results_path}: {n} rows ok"),
+        Err(e) => {
+            eprintln!("validate: {results_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(tp) = trace_path {
+        let text = match std::fs::read_to_string(&tp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("validate: cannot read {tp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_trace(&text) {
+            Ok(n) => println!("validate: {tp}: {n} spans ok"),
+            Err(e) => {
+                eprintln!("validate: {tp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -8,13 +8,46 @@
 //! real concurrent execution of the algorithms. Wall-clock time is also
 //! reported as a secondary column.
 
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use pgas_nb::prelude::*;
+use pgas_nb::sim::telemetry::Sink;
 use pgas_nb::sim::vtime;
-use pgas_nb::sim::CommSnapshot;
+use pgas_nb::sim::TelemetrySnapshot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+pub mod json;
+
+/// Process-wide span sink installed on every runtime the workloads build
+/// (the harness's `--trace` flag). Must be set before the first
+/// measurement; later calls return `false` and change nothing.
+static TRACE_SINK: OnceLock<Arc<dyn Sink>> = OnceLock::new();
+
+/// Install `sink` as the span sink for every runtime subsequently built by
+/// this crate's workload constructors. Returns whether this call installed
+/// it (first install wins).
+pub fn set_trace_sink(sink: Arc<dyn Sink>) -> bool {
+    TRACE_SINK.set(sink).is_ok()
+}
+
+/// Flush the process-wide trace sink, if one is installed. The static
+/// holding the sink is never dropped, so buffered writers (e.g.
+/// `JsonLinesSink`) must be flushed explicitly before the process exits.
+pub fn flush_trace_sink() {
+    if let Some(s) = TRACE_SINK.get() {
+        s.flush();
+    }
+}
+
+/// Wire the process-wide trace sink (if any) into a freshly built runtime.
+fn traced(rt: Runtime) -> Runtime {
+    if let Some(s) = TRACE_SINK.get() {
+        rt.set_telemetry_sink(Arc::clone(s));
+    }
+    rt
+}
 
 /// Which atomic implementation a Fig. 3 measurement exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,12 +102,14 @@ impl Sample {
     }
 }
 
-/// One-line per-op-class breakdown of a communication snapshot, printed by
-/// the harness under selected figure rows. Every class the engine charges
-/// is listed, so a shift between paths (RDMA vs AM vs batched AM) is
-/// visible directly in the harness output.
-pub fn comm_breakdown(s: &CommSnapshot) -> String {
-    format!(
+/// One-line per-op-class breakdown of a telemetry snapshot, printed by the
+/// harness under selected figure rows. The counter half shows how traffic
+/// split between paths (RDMA vs AM vs batched AM); the latency half lists
+/// every op class that recorded samples with its p50/p99/max — rendered
+/// straight from the registry snapshot instead of hand-picked fields.
+pub fn comm_breakdown(t: &TelemetrySnapshot) -> String {
+    let s = &t.comm;
+    let mut out = format!(
         "rdma={} cpu={} dcas={} am={} batched={}({} items) puts={} gets={} net-events={}",
         s.rdma_atomics,
         s.cpu_atomics,
@@ -85,7 +120,17 @@ pub fn comm_breakdown(s: &CommSnapshot) -> String {
         s.puts,
         s.gets,
         s.network_events(),
-    )
+    );
+    for (class, h) in t.nonempty() {
+        out.push_str(&format!(
+            "\n       {class}: n={} p50={} p99={} max={}",
+            h.count(),
+            h.percentile(50.0),
+            h.percentile(99.0),
+            h.max(),
+        ));
+    }
+    out
 }
 
 /// The 25/25/25/25 read/write/CAS/exchange mix from §III-A, one task,
@@ -297,7 +342,11 @@ pub fn fig7_read_only(rt: &Runtime, tasks_per_locale: usize, iters_per_task: u64
 
 /// Ablation A1: the Fig. 6 workload at 100% remote objects, with the
 /// scatter-list bulk free disabled (one active message per object).
-pub fn ablate_scatter(rt: &Runtime, num_objects: usize, scatter: bool) -> (Sample, CommSnapshot) {
+pub fn ablate_scatter(
+    rt: &Runtime,
+    num_objects: usize,
+    scatter: bool,
+) -> (Sample, TelemetrySnapshot) {
     let locales = rt.num_locales();
     let mut out = None;
     rt.run(|| {
@@ -329,7 +378,7 @@ pub fn ablate_scatter(rt: &Runtime, num_objects: usize, scatter: bool) -> (Sampl
             ops: num_objects as u64,
         };
         assert_eq!(rt.live_objects(), 0);
-        out = Some((sample, rt.total_comm()));
+        out = Some((sample, rt.total_telemetry()));
     });
     out.unwrap()
 }
@@ -425,7 +474,7 @@ pub fn ablate_reclamation_scheme(
     writes_every: u64,
     use_ebr: bool,
 ) -> (Sample, u64) {
-    let rt = Runtime::new(RuntimeConfig::shared_memory());
+    let rt = traced(Runtime::new(RuntimeConfig::shared_memory()));
     let mut out = None;
     rt.run(|| {
         let rt_h = current_runtime();
@@ -535,7 +584,7 @@ pub fn ablate_reclamation_scheme(
 /// workload — what the shared-memory-optimized variant saves (no global
 /// epoch object, no cross-locale scan).
 pub fn ablate_local_manager(num_objects: usize, local: bool) -> (Sample, u64) {
-    let rt = Runtime::new(RuntimeConfig::cluster(1));
+    let rt = traced(Runtime::new(RuntimeConfig::cluster(1)));
     let mut out = None;
     rt.run(|| {
         let rt_h = current_runtime();
@@ -598,7 +647,7 @@ pub fn ablate_wide(locales: usize, total_ops: u64, wide: bool) -> Sample {
     } else {
         RuntimeConfig::cluster(locales)
     };
-    let rt = Runtime::new(cfg);
+    let rt = traced(Runtime::new(cfg));
     let tasks = 2usize;
     let n_tasks = (locales * tasks) as u64;
     let per_task = (total_ops / n_tasks).max(1);
@@ -672,7 +721,7 @@ pub fn ablate_combining(
     total_ops: u64,
     workload: CombineWorkload,
     combining: bool,
-) -> (Sample, CommSnapshot) {
+) -> (Sample, TelemetrySnapshot) {
     let cfg = match workload {
         CombineWorkload::Fig3DistAm | CombineWorkload::SharedAtL0 => {
             RuntimeConfig::cluster(locales).without_network_atomics()
@@ -680,7 +729,7 @@ pub fn ablate_combining(
         CombineWorkload::WideDcas => RuntimeConfig::cluster(locales).with_wide_pointers(),
     }
     .with_combining(combining);
-    let rt = Runtime::new(cfg);
+    let rt = traced(Runtime::new(cfg));
     let tasks = 4usize;
     let n_tasks = (locales * tasks) as u64;
     let per_task = (total_ops / n_tasks).max(1);
@@ -738,7 +787,7 @@ pub fn ablate_combining(
                 wall_ns: wall.elapsed().as_nanos() as u64,
                 ops: per_task * n_tasks,
             },
-            rt.total_comm(),
+            rt.total_telemetry(),
         ));
     });
     out.unwrap()
@@ -751,7 +800,7 @@ pub fn runtime(locales: usize, network_atomics: bool) -> Runtime {
     } else {
         RuntimeConfig::cluster(locales).without_network_atomics()
     };
-    Runtime::new(cfg)
+    traced(Runtime::new(cfg))
 }
 
 /// The locale counts swept by the distributed figures.
@@ -810,17 +859,22 @@ mod tests {
     #[test]
     fn scatter_beats_per_object_frees() {
         let rt = runtime(4, true);
-        let (with, comm_with) = ablate_scatter(&rt, 512, true);
+        let (with, t_with) = ablate_scatter(&rt, 512, true);
         let rt = runtime(4, true);
-        let (without, comm_without) = ablate_scatter(&rt, 512, false);
-        assert!(comm_with.am_sent < comm_without.am_sent / 10);
+        let (without, t_without) = ablate_scatter(&rt, 512, false);
+        assert!(t_with.comm.am_sent < t_without.comm.am_sent / 10);
         assert!(with.vtime_ns < without.vtime_ns);
+        // The registry's latency half must have seen the drained lists.
+        use pgas_nb::sim::telemetry::OpClass;
+        assert!(t_with.class(OpClass::LimboDepth).count() > 0);
+        assert!(t_with.class(OpClass::Reclaim).count() > 0);
     }
 
     #[test]
     fn combining_coalesces_am_traffic() {
-        let (on, comm_on) = ablate_combining(4, 2048, CombineWorkload::SharedAtL0, true);
-        let (off, comm_off) = ablate_combining(4, 2048, CombineWorkload::SharedAtL0, false);
+        let (on, t_on) = ablate_combining(4, 2048, CombineWorkload::SharedAtL0, true);
+        let (off, t_off) = ablate_combining(4, 2048, CombineWorkload::SharedAtL0, false);
+        let (comm_on, comm_off) = (&t_on.comm, &t_off.comm);
         assert!(comm_on.combined_ops > 0, "combining layer must engage");
         assert!(
             comm_on.am_sent < comm_off.am_sent,
@@ -828,6 +882,10 @@ mod tests {
             comm_on.am_sent,
             comm_off.am_sent
         );
+        // Occupancy histograms come from the combining layer itself.
+        use pgas_nb::sim::telemetry::OpClass;
+        assert!(t_on.class(OpClass::CombineOccupancy).count() > 0);
+        assert!(t_off.class(OpClass::CombineOccupancy).is_empty());
         assert!(
             on.vtime_ns < off.vtime_ns,
             "combining must be cheaper in virtual time: {} vs {}",

@@ -24,13 +24,14 @@
 //! `clear` reclaims every limbo list unconditionally and must only be
 //! called in quiescence (single-owner teardown), as in the paper.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use pgas_atomics::AtomicInt;
 use pgas_sim::engine::Batcher;
 use pgas_sim::faults::invariants::ReclaimObserver;
-use pgas_sim::{ctx, Erased, GlobalPtr, LocaleId, Privatized, RuntimeCore, RuntimeHandle};
+use pgas_sim::telemetry::OpClass;
+use pgas_sim::{ctx, vtime, Erased, GlobalPtr, LocaleId, Privatized, RuntimeCore, RuntimeHandle};
 
 use crate::limbo::{LimboList, NodePool};
 use crate::math::{limbo_index, next_epoch, reclaim_epoch, EPOCHS};
@@ -53,6 +54,11 @@ struct LocaleInstance {
     /// Local first-come-first-serve election flag.
     is_setting_epoch: AtomicInt,
     limbo: [LimboList; EPOCHS as usize],
+    /// Earliest `defer_delete` virtual time still parked in each limbo
+    /// slot (`u64::MAX` when empty). Drains swap it out and report the
+    /// pin-to-reclaim latency to the locale's telemetry registry
+    /// ([`pgas_sim::telemetry::OpClass::Reclaim`]).
+    first_defer_vtime: [AtomicU64; EPOCHS as usize],
     pool: NodePool,
     tokens: TokenRegistry,
 }
@@ -101,6 +107,11 @@ impl EpochManager {
             locale_epoch: AtomicInt::new_on(l, 1),
             is_setting_epoch: AtomicInt::new_on(l, 0),
             limbo: [LimboList::new(), LimboList::new(), LimboList::new()],
+            first_defer_vtime: [
+                AtomicU64::new(u64::MAX),
+                AtomicU64::new(u64::MAX),
+                AtomicU64::new(u64::MAX),
+            ],
             pool: NodePool::new(),
             tokens: TokenRegistry::new(),
         });
@@ -324,7 +335,8 @@ fn reclaim_list(
             obs.on_reclaim(e.addr(), epoch, current_epoch, during_clear);
         }
     };
-    if use_scatter {
+    let first_defer = inst.first_defer_vtime[limbo_index(epoch)].swap(u64::MAX, Ordering::Relaxed);
+    let n = if use_scatter {
         // The scatter list is a `Batcher` over erased objects: unbounded
         // per-destination buffers with one explicit flush at the end, so
         // each destination still receives exactly one bulk-free active
@@ -355,7 +367,13 @@ fn reclaim_list(
                 unsafe { pgas_sim::free_erased(core, e) }
             });
         n as u64
+    };
+    let stats = &core.locale(pgas_sim::here()).stats;
+    if first_defer != u64::MAX {
+        stats.record(OpClass::Reclaim, vtime::now().saturating_sub(first_defer));
     }
+    stats.record(OpClass::LimboDepth, n);
+    n
 }
 
 impl Default for EpochManager {
@@ -415,6 +433,10 @@ impl<'a> Token<'a> {
         }
         let inst = self.mgr.instances.get_for(self.locale);
         inst.limbo[limbo_index(e)].push_node(inst.pool.get(), Erased::new(ptr));
+        // Remember when this slot first became non-empty so the eventual
+        // drain can report pin-to-reclaim latency (bookkeeping only —
+        // charges no virtual time).
+        inst.first_defer_vtime[limbo_index(e)].fetch_min(vtime::now(), Ordering::Relaxed);
     }
 
     /// Forward to [`EpochManager::try_reclaim`].

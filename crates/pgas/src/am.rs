@@ -29,15 +29,18 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 
 use crate::globalptr::LocaleId;
 use crate::runtime::RuntimeCore;
+use crate::telemetry::{OpClass, Span};
 use crate::vtime;
 
 /// A message bound for a locale's progress threads.
 pub(crate) enum AmMsg {
     /// Execute the closure. `send_vtime` is the virtual arrival time at the
-    /// target NIC (sender clock + wire latency).
+    /// target NIC (sender clock + wire latency); `src` is the issuing
+    /// locale (carried for the telemetry span).
     Call {
         thunk: Box<dyn FnOnce() + Send + 'static>,
         send_vtime: u64,
+        src: LocaleId,
     },
     /// Terminate one progress thread (sent once per thread at shutdown).
     Shutdown,
@@ -103,26 +106,48 @@ pub(crate) fn progress_loop(core: Arc<RuntimeCore>, locale: LocaleId, rx: Receiv
     while let Ok(msg) = rx.recv() {
         match msg {
             AmMsg::Shutdown => break,
-            AmMsg::Call { thunk, send_vtime } => {
+            AmMsg::Call {
+                thunk,
+                send_vtime,
+                src,
+            } => {
                 // Min-clock service discipline: run on whichever server slot
                 // frees up first, regardless of which OS thread we are.
                 let (slot, free_at) = slots.acquire();
                 let start = free_at.max(send_vtime);
                 vtime::set(start + handler_ns);
+                let lstats = &core.locale(locale).stats;
                 // Count before the body runs: the thunk's last act is the
                 // reply send, and the unblocked sender may read the stats
-                // immediately — the counter must already be there.
-                core.locale(locale)
-                    .stats
+                // immediately — the counter must already be there. The
+                // queue-wait sample is also known now (`start - arrival`).
+                lstats
                     .am_handled
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                lstats.record(OpClass::AmQueue, start - send_vtime);
                 // A panicking handler must not take the progress thread
                 // down with it; the panic is forwarded to the sender via
                 // the reply channel inside the thunk.
                 let _ = catch_unwind(AssertUnwindSafe(thunk));
+                let end = vtime::now();
+                lstats.record(OpClass::AmService, end - start);
+                // One span per remote operation, stamped from the vtime
+                // points this loop already computes: issue (arrival minus
+                // the wire), arrival, queued start, and the reply landing
+                // back at the sender.
+                core.emit_span(|| Span {
+                    class: OpClass::AmRoundTrip,
+                    src,
+                    dest: locale,
+                    issue_vtime: send_vtime.saturating_sub(net.am_wire_ns),
+                    arrive_vtime: send_vtime,
+                    start_vtime: start,
+                    end_vtime: end + net.am_wire_ns,
+                    tag: 0,
+                });
                 // The slot is busy until the reply has been injected back
                 // onto the wire.
-                slots.release(slot, vtime::now() + net.am_wire_ns);
+                slots.release(slot, end + net.am_wire_ns);
             }
         }
     }
@@ -140,6 +165,7 @@ pub(crate) fn remote_call(
     debug_assert_ne!(src, dest, "remote_call requires a remote destination");
     let cfg = &core.config.network;
     let stats = &core.locale(src).stats;
+    let t_issue = vtime::now();
 
     // Fault injection, part 1: drop + retry. Only idempotent-class sends
     // are droppable; a dropped message is lost *before* execution, so the
@@ -150,17 +176,35 @@ pub(crate) fn remote_call(
     if let Some(fs) = core.faults() {
         if crate::faults::current_class() == crate::faults::OpClass::Idempotent {
             let mut attempt = 0;
-            while attempt < fs.max_attempts() && fs.inject_drop() {
+            while attempt < fs.max_attempts() {
+                let Some(decision) = fs.inject_drop_indexed() else {
+                    break;
+                };
                 stats
                     .am_sent
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 stats
                     .injected_drops
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                vtime::charge(cfg.am_wire_ns + fs.retry_penalty_ns(attempt));
+                let before = vtime::now();
+                let penalty = fs.retry_penalty_ns(attempt);
+                vtime::charge(cfg.am_wire_ns + penalty);
                 stats
                     .retries
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.record(OpClass::Retry, penalty);
+                // A retry span per dropped attempt, tagged with the global
+                // fault decision index that dropped it.
+                core.emit_span(|| Span {
+                    class: OpClass::Retry,
+                    src,
+                    dest,
+                    issue_vtime: before,
+                    arrive_vtime: before + cfg.am_wire_ns,
+                    start_vtime: before + cfg.am_wire_ns,
+                    end_vtime: before + cfg.am_wire_ns + penalty,
+                    tag: decision,
+                });
                 attempt += 1;
             }
             if attempt >= fs.max_attempts() {
@@ -203,7 +247,14 @@ pub(crate) fn remote_call(
     // disconnected), so no borrow outlives this frame.
     let thunk: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(thunk) };
 
-    core.send_am(dest, AmMsg::Call { thunk, send_vtime });
+    core.send_am(
+        dest,
+        AmMsg::Call {
+            thunk,
+            send_vtime,
+            src,
+        },
+    );
     if duplicate {
         // At-least-once delivery: the network delivered a second copy.
         // The receiver's dedup discards it, modelled as a no-op handler
@@ -216,6 +267,7 @@ pub(crate) fn remote_call(
             AmMsg::Call {
                 thunk: Box::new(|| {}),
                 send_vtime,
+                src,
             },
         );
     }
@@ -226,6 +278,8 @@ pub(crate) fn remote_call(
     // The one message is consumed; the pair is pristine again.
     recycle_reply_channel(tx, rx);
     vtime::advance_to(end + cfg.am_wire_ns);
+    // The sender-observed round trip, retries and queueing included.
+    stats.record(OpClass::AmRoundTrip, vtime::now().saturating_sub(t_issue));
     if let Err(payload) = out {
         resume_unwind(payload);
     }
@@ -272,7 +326,14 @@ pub(crate) fn remote_post(
         // disconnects the channel, which is fine.
         let _ = reply_tx.send((out, end));
     });
-    core.send_am(dest, AmMsg::Call { thunk, send_vtime });
+    core.send_am(
+        dest,
+        AmMsg::Call {
+            thunk,
+            send_vtime,
+            src,
+        },
+    );
     if duplicate {
         stats
             .injected_dups
@@ -282,6 +343,7 @@ pub(crate) fn remote_post(
             AmMsg::Call {
                 thunk: Box::new(|| {}),
                 send_vtime,
+                src,
             },
         );
     }

@@ -30,6 +30,7 @@ use std::sync::atomic::Ordering;
 use crate::ctx;
 use crate::globalptr::LocaleId;
 use crate::runtime::RuntimeCore;
+use crate::telemetry::{OpClass, Span};
 use crate::vtime;
 
 /// Which execution path an atomic operation should take.
@@ -55,6 +56,7 @@ pub fn route_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
     if net.network_atomics {
         // All 64-bit atomics go through the NIC, local or not.
         let stats = &core.locale(here).stats;
+        let t_issue = vtime::now();
         stats.rdma_atomics.fetch_add(1, Ordering::Relaxed);
         vtime::charge(net.nic_atomic_ns);
         // Fault injection on the one-sided path (remote targets only:
@@ -70,10 +72,28 @@ pub fn route_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
                     vtime::charge(extra);
                 }
                 let mut attempt = 0;
-                while attempt < fs.max_attempts() && fs.inject_drop() {
+                while attempt < fs.max_attempts() {
+                    let Some(decision) = fs.inject_drop_indexed() else {
+                        break;
+                    };
                     stats.injected_drops.fetch_add(1, Ordering::Relaxed);
-                    vtime::charge(fs.retry_penalty_ns(attempt) + net.nic_atomic_ns);
+                    let before = vtime::now();
+                    let penalty = fs.retry_penalty_ns(attempt);
+                    vtime::charge(penalty + net.nic_atomic_ns);
                     stats.retries.fetch_add(1, Ordering::Relaxed);
+                    stats.record(OpClass::Retry, penalty);
+                    // One retry span per dropped NIC request, tagged with
+                    // the fault decision index that dropped it.
+                    core.emit_span(|| Span {
+                        class: OpClass::Retry,
+                        src: here,
+                        dest: owner,
+                        issue_vtime: before,
+                        arrive_vtime: before + penalty,
+                        start_vtime: before + penalty,
+                        end_vtime: before + penalty + net.nic_atomic_ns,
+                        tag: decision,
+                    });
                     attempt += 1;
                 }
                 if attempt >= fs.max_attempts() {
@@ -81,13 +101,14 @@ pub fn route_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
                 }
             }
         }
+        // The full span charged to this op: the NIC atomic itself plus
+        // any injected delays and retransmit penalties.
+        stats.record(OpClass::RdmaAtomic, vtime::now() - t_issue);
         AtomicPath::Nic
     } else if owner == here {
-        core.locale(here)
-            .stats
-            .cpu_atomics
-            .fetch_add(1, Ordering::Relaxed);
-        vtime::charge(net.cpu_atomic_ns);
+        let locale = core.locale(here);
+        locale.stats.cpu_atomics.fetch_add(1, Ordering::Relaxed);
+        vtime::charge_sampled(&locale.stats, OpClass::CpuAtomic, net.cpu_atomic_ns);
         AtomicPath::CpuLocal
     } else {
         AtomicPath::ActiveMessage
@@ -110,22 +131,24 @@ pub fn route_atomic_u128(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
 /// Charge the CPU cost of a 64-bit atomic performed *inside* an AM handler
 /// (the remote-execution fallback's actual memory operation).
 pub fn charge_handler_atomic(core: &RuntimeCore) {
-    let here = ctx::here();
-    core.locale(here)
-        .stats
-        .cpu_atomics
-        .fetch_add(1, Ordering::Relaxed);
-    vtime::charge(core.config.network.cpu_atomic_ns);
+    let locale = core.locale(ctx::here());
+    locale.stats.cpu_atomics.fetch_add(1, Ordering::Relaxed);
+    vtime::charge_sampled(
+        &locale.stats,
+        OpClass::CpuAtomic,
+        core.config.network.cpu_atomic_ns,
+    );
 }
 
 /// Charge the CPU cost of a 128-bit DCAS (locally or inside an AM handler).
 pub fn charge_handler_dcas(core: &RuntimeCore) {
-    let here = ctx::here();
-    core.locale(here)
-        .stats
-        .cpu_dcas
-        .fetch_add(1, Ordering::Relaxed);
-    vtime::charge(core.config.network.cpu_dcas_ns);
+    let locale = core.locale(ctx::here());
+    locale.stats.cpu_dcas.fetch_add(1, Ordering::Relaxed);
+    vtime::charge_sampled(
+        &locale.stats,
+        OpClass::CpuDcas,
+        core.config.network.cpu_dcas_ns,
+    );
 }
 
 /// Charge the per-item dispatch cost of one operation executing inside a
@@ -153,7 +176,7 @@ pub fn charge_get(core: &RuntimeCore, owner: LocaleId, bytes: usize) {
     let stats = &core.locale(here).stats;
     stats.gets.fetch_add(1, Ordering::Relaxed);
     stats.bytes_got.fetch_add(bytes as u64, Ordering::Relaxed);
-    vtime::charge(rma_cost(core, bytes));
+    vtime::charge_sampled(stats, OpClass::Get, rma_cost(core, bytes));
 }
 
 /// Charge a one-sided PUT of `bytes` into `owner`'s memory. No cost or
@@ -166,7 +189,7 @@ pub fn charge_put(core: &RuntimeCore, owner: LocaleId, bytes: usize) {
     let stats = &core.locale(here).stats;
     stats.puts.fetch_add(1, Ordering::Relaxed);
     stats.bytes_put.fetch_add(bytes as u64, Ordering::Relaxed);
-    vtime::charge(rma_cost(core, bytes));
+    vtime::charge_sampled(stats, OpClass::Put, rma_cost(core, bytes));
 }
 
 #[cfg(test)]

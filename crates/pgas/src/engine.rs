@@ -220,6 +220,8 @@ impl CommEngine for SimEngine {
         let stats = &core.locale(src).stats;
         stats.am_batches.fetch_add(1, Ordering::Relaxed);
         stats.am_batch_items.fetch_add(items, Ordering::Relaxed);
+        // Batch occupancy histogram: how full bulk AMs actually are.
+        stats.record(crate::telemetry::OpClass::BatchOccupancy, items);
         am::remote_call(core, src, dest, f);
     }
 }

@@ -261,6 +261,9 @@ fn ship(core: &RuntimeCore, src: LocaleId, dest: LocaleId, batch: &[NodePtr]) {
         stats.combined_ops.fetch_add(n, Ordering::Relaxed);
         stats.am_batches.fetch_add(1, Ordering::Relaxed);
         stats.am_batch_items.fetch_add(n, Ordering::Relaxed);
+        // Combine occupancy histogram: how many riders each combined
+        // message actually carried (the whole point of the layer).
+        stats.record(crate::telemetry::OpClass::CombineOccupancy, n);
         let riders: Vec<NodePtr> = chunk.to_vec();
         // The combiner may have been elected while *its own* operation was
         // in an idempotent-class scope, but the batch carries other tasks'

@@ -282,25 +282,41 @@ impl FaultState {
         &self.plan
     }
 
+    /// One injection decision: consume the next index of `seq` and hash it
+    /// with the plan seed. Fires with probability `per_mille`/1000,
+    /// yielding `(decision index, derived hash)` — the index identifies
+    /// the decision for repro fingerprints and telemetry span tags; the
+    /// hash parameterizes the injection (e.g. delay magnitude).
     #[inline]
-    fn decide(&self, salt: u64, seq: &AtomicU64, per_mille: u32) -> Option<u64> {
+    fn decide(&self, salt: u64, seq: &AtomicU64, per_mille: u32) -> Option<(u64, u64)> {
         if per_mille == 0 {
             return None;
         }
         let i = seq.fetch_add(1, Ordering::Relaxed);
         let h = splitmix64(self.plan.seed ^ salt ^ i);
         if h % 1000 < per_mille as u64 {
-            Some(splitmix64(h))
+            Some((i, splitmix64(h)))
         } else {
             None
         }
     }
 
-    /// Should the next idempotent-class send be dropped?
+    /// Should the next idempotent-class send be dropped? (Production
+    /// callers use [`Self::inject_drop_indexed`] so they can tag retry
+    /// spans with the decision index; this shorthand serves the tests.)
+    #[cfg(test)]
     #[inline]
     pub(crate) fn inject_drop(&self) -> bool {
+        self.inject_drop_indexed().is_some()
+    }
+
+    /// Like [`Self::inject_drop`], but returns the firing drop-decision
+    /// index (the global drop-sequence number consumed), used to tag the
+    /// matching retry telemetry span.
+    #[inline]
+    pub(crate) fn inject_drop_indexed(&self) -> Option<u64> {
         self.decide(DROP_SALT, &self.drop_seq, self.plan.drop_per_mille)
-            .is_some()
+            .map(|(i, _)| i)
     }
 
     /// Should the next delivery be duplicated?
@@ -315,7 +331,7 @@ impl FaultState {
     #[inline]
     pub(crate) fn inject_delay(&self) -> Option<u64> {
         self.decide(DELAY_SALT, &self.delay_seq, self.plan.delay_per_mille)
-            .map(|h| h % (self.plan.max_delay_ns + 1))
+            .map(|(_, h)| h % (self.plan.max_delay_ns + 1))
     }
 
     /// Virtual time a sender spends on dropped attempt number `attempt`
@@ -559,6 +575,13 @@ mod tests {
                 rt.on(1, || {
                     hits.fetch_add(1, Ordering::Relaxed);
                 });
+            }
+            // The duplicate deliveries are handled asynchronously by the
+            // progress thread — the sender's reply races the duplicate's
+            // bookkeeping — so wait for the queue to drain before reading.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while rt.total_comm().am_handled < 80 && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
             }
             let s = rt.total_comm();
             // The user body ran exactly once per op; the duplicate only

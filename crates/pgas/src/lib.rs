@@ -65,6 +65,7 @@ pub mod privatized;
 pub mod reduce;
 pub mod runtime;
 pub mod stats;
+pub mod telemetry;
 pub mod vtime;
 
 pub use array::{Dist, DistArray};
@@ -82,3 +83,4 @@ pub use privatized::Privatized;
 pub use reduce::{all_locales, any_locales, max_locales, min_locales, reduce_locales, sum_locales};
 pub use runtime::{Runtime, RuntimeCore, RuntimeHandle};
 pub use stats::{CommSnapshot, CommStats, HeapStats};
+pub use telemetry::TelemetrySnapshot;

@@ -10,7 +10,8 @@ use parking_lot::Mutex;
 use crate::am::AmMsg;
 use crate::engine::combine::CombineHub;
 use crate::globalptr::LocaleId;
-use crate::stats::{CommStats, HeapStats};
+use crate::stats::HeapStats;
+use crate::telemetry::Registry;
 
 /// The virtual clocks of a locale's AM service, one *slot* per progress
 /// thread.
@@ -106,9 +107,11 @@ impl ServerSlots {
 pub struct Locale {
     /// This locale's id (its index in the runtime's locale table).
     pub id: LocaleId,
-    /// Communication counters for operations *initiated by or handled on*
-    /// this locale.
-    pub stats: CommStats,
+    /// Telemetry registry for operations *initiated by or handled on* this
+    /// locale: the communication counters (the registry derefs to
+    /// [`crate::stats::CommStats`], so counter field access is unchanged)
+    /// plus per-class latency histograms.
+    pub stats: Registry,
     /// Allocation accounting for objects whose affinity is this locale.
     pub heap: HeapStats,
     /// Server slots of this locale's AM service (one per progress thread;
@@ -137,7 +140,7 @@ impl Locale {
     ) -> Self {
         Locale {
             id,
-            stats: CommStats::default(),
+            stats: Registry::default(),
             heap: HeapStats::default(),
             server: ServerSlots::new(progress_threads),
             combine: CombineHub::new(num_locales),
@@ -152,10 +155,10 @@ impl Locale {
         self.server.max_clock()
     }
 
-    /// Reset this locale's virtual clocks and counters. Callers must ensure
-    /// no operations are in flight.
+    /// Reset this locale's virtual clocks, counters, and latency
+    /// histograms. Callers must ensure no operations are in flight.
     pub fn reset_metrics(&self) {
-        self.stats.reset();
+        self.stats.reset(); // Registry::reset — counters *and* histograms
         self.server.reset();
     }
 }

@@ -21,7 +21,7 @@
 use std::ops::Deref;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 
 use crossbeam_channel::unbounded;
@@ -33,6 +33,7 @@ use crate::engine::{CommEngine, Completion, SimEngine};
 use crate::globalptr::LocaleId;
 use crate::locale::Locale;
 use crate::stats::CommSnapshot;
+use crate::telemetry::{Sink, Span, TelemetrySnapshot};
 use crate::vtime;
 
 /// A `Send`-able wrapper for the runtime pointer handed to scoped worker
@@ -61,6 +62,10 @@ pub struct RuntimeCore {
     /// Live fault-injection state, built from [`RuntimeConfig::faults`];
     /// `None` (the default) short-circuits every injection hook.
     faults: Option<crate::faults::FaultState>,
+    /// Telemetry span sink (see [`crate::telemetry::Sink`]). Unset by
+    /// default: the fast path is one `OnceLock::get` returning `None`, so
+    /// span emission is free unless a sink is installed.
+    telemetry_sink: OnceLock<Arc<dyn Sink>>,
     shutdown: AtomicBool,
     self_weak: Weak<RuntimeCore>,
 }
@@ -122,6 +127,7 @@ impl Runtime {
                 locales,
                 engine: Box::new(SimEngine),
                 faults,
+                telemetry_sink: OnceLock::new(),
                 shutdown: AtomicBool::new(false),
                 self_weak: self_weak.clone(),
             }
@@ -504,12 +510,44 @@ impl RuntimeCore {
         vtime::advance_to(max_end);
     }
 
+    /// Install the telemetry span sink. May be called at most once per
+    /// runtime (first install wins); returns whether this call installed
+    /// it. Until a sink is installed, span emission costs one relaxed
+    /// `OnceLock::get`.
+    pub fn set_telemetry_sink(&self, sink: Arc<dyn Sink>) -> bool {
+        self.telemetry_sink.set(sink).is_ok()
+    }
+
+    /// The installed telemetry sink, if any.
+    pub fn telemetry_sink(&self) -> Option<&Arc<dyn Sink>> {
+        self.telemetry_sink.get()
+    }
+
+    /// Build (lazily) and emit a [`Span`] to the installed sink. The
+    /// closure is not even constructed into a span unless a sink is
+    /// present.
+    #[inline]
+    pub fn emit_span(&self, f: impl FnOnce() -> Span) {
+        if let Some(s) = self.telemetry_sink.get() {
+            s.record(&f());
+        }
+    }
+
     /// Sum of all locales' communication counters.
     pub fn total_comm(&self) -> CommSnapshot {
         self.locales
             .iter()
             .map(|l| l.stats.snapshot())
             .fold(CommSnapshot::default(), |a, b| a + b)
+    }
+
+    /// Sum of all locales' telemetry registries: communication counters
+    /// plus per-class latency histograms (see [`crate::telemetry`]).
+    pub fn total_telemetry(&self) -> TelemetrySnapshot {
+        self.locales
+            .iter()
+            .map(|l| l.stats.telemetry_snapshot())
+            .fold(TelemetrySnapshot::default(), |a, b| a + b)
     }
 
     /// Total live tracked objects across all locales (should be zero after

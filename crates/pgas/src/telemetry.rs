@@ -1,0 +1,770 @@
+//! Structured telemetry: a typed metric registry, per-operation spans, and
+//! pluggable sinks.
+//!
+//! The paper's evaluation is about *where time goes* — RDMA vs
+//! remote-execution paths, queueing at saturated progress threads, EBR
+//! overhead — so flat event counts ([`crate::stats::CommStats`]) are not
+//! enough. This module adds the latency half:
+//!
+//! * [`OpClass`] — the operation classes the simulator distinguishes
+//!   (NIC atomic, AM round trip, handler queue wait, combine occupancy, …).
+//! * [`Histogram`] — a fixed-bucket log2 histogram (64 buckets, lock-free,
+//!   no dependencies; the vendor set is frozen). Percentiles come from a
+//!   cumulative bucket walk; the maximum is tracked exactly so tail
+//!   latencies are not bucket-rounded.
+//! * [`Registry`] — one per locale, pairing the existing [`CommStats`]
+//!   counters (unchanged names, so exact-count tests keep passing) with a
+//!   per-class histogram set. [`Registry`] derefs to [`CommStats`], so all
+//!   existing `locale.stats.am_sent…` call sites compile and count
+//!   bit-identically.
+//! * [`Span`] — one record per remote operation, stamped from the virtual
+//!   time points that already exist (issue → wire → queue → handle →
+//!   reply).
+//! * [`Sink`] — where spans go: [`NullSink`] (zero-cost default — no sink
+//!   installed means one relaxed atomic load per op and nothing else),
+//!   [`RingSink`] (in-memory ring buffer for tests), [`JsonLinesSink`]
+//!   (hand-rolled JSON-lines writer for the harness).
+//!
+//! ## Overhead budget
+//!
+//! Histogram recording is always on and costs four relaxed atomic RMWs per
+//! sample; it charges **no virtual time** and touches **no counters**, so
+//! perf-guard quantities (A1 scatter AM counts, A7 combining wins) are
+//! bit-for-bit unaffected. Span emission is gated on an installed sink —
+//! the default is a single `OnceLock::get` returning `None`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::globalptr::LocaleId;
+use crate::stats::{CommSnapshot, CommStats};
+
+/// Operation classes tracked by the telemetry registry. Each class gets its
+/// own latency (or occupancy) histogram per locale, and spans are keyed by
+/// it.
+///
+/// This is distinct from [`crate::faults::OpClass`] (idempotent vs not,
+/// which governs *drop eligibility*); this enum classifies *what kind of
+/// remote operation* a sample describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum OpClass {
+    /// 64-bit atomic executed on the simulated NIC (RDMA atomic). Sample =
+    /// full virtual-time span charged to the issuing task, including any
+    /// fault-injected delays and retry penalties.
+    RdmaAtomic,
+    /// Atomic executed by the local CPU. Sample = `cpu_atomic_ns`.
+    CpuAtomic,
+    /// 128-bit double-word CAS executed by the local CPU.
+    CpuDcas,
+    /// Sender-observed active-message round trip: issue → wire → queue →
+    /// handler → reply, including retries of dropped sends.
+    AmRoundTrip,
+    /// Time an AM spent queued at a saturated progress thread: handler
+    /// start minus arrival (zero when a server slot was free on arrival).
+    AmQueue,
+    /// Handler service time: dispatch cost (× straggler slowdown) plus the
+    /// user body, measured on the destination locale.
+    AmService,
+    /// Occupancy of batched active messages ([`crate::engine::Batcher`] /
+    /// `bulk_on`): sample = operations carried per bulk AM.
+    BatchOccupancy,
+    /// Occupancy of combined active messages
+    /// ([`crate::engine::combine`]): sample = operations per shipped chunk.
+    CombineOccupancy,
+    /// One-sided PUT: sample = virtual-time cost (latency + bandwidth
+    /// term). Local puts are free and not sampled.
+    Put,
+    /// One-sided GET: sample = virtual-time cost. Local gets are free and
+    /// not sampled.
+    Get,
+    /// Fault-injected retry: sample = the backoff penalty (timeout +
+    /// exponential backoff + jitter) charged for one dropped attempt. The
+    /// matching span's `tag` is the fault decision index.
+    Retry,
+    /// Epoch reclamation pin-to-reclaim latency: virtual time from the
+    /// first `defer_delete` into a limbo list until that list is drained.
+    Reclaim,
+    /// Depth of a limbo list at the moment it was drained (object count).
+    LimboDepth,
+}
+
+impl OpClass {
+    /// Number of classes (length of [`OpClass::ALL`]).
+    pub const COUNT: usize = 13;
+
+    /// Every class, in declaration order (the histogram index order).
+    pub const ALL: [OpClass; OpClass::COUNT] = [
+        OpClass::RdmaAtomic,
+        OpClass::CpuAtomic,
+        OpClass::CpuDcas,
+        OpClass::AmRoundTrip,
+        OpClass::AmQueue,
+        OpClass::AmService,
+        OpClass::BatchOccupancy,
+        OpClass::CombineOccupancy,
+        OpClass::Put,
+        OpClass::Get,
+        OpClass::Retry,
+        OpClass::Reclaim,
+        OpClass::LimboDepth,
+    ];
+
+    /// Stable snake_case name used as the JSON key for this class.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::RdmaAtomic => "rdma_atomic",
+            OpClass::CpuAtomic => "cpu_atomic",
+            OpClass::CpuDcas => "cpu_dcas",
+            OpClass::AmRoundTrip => "am_round_trip",
+            OpClass::AmQueue => "am_queue",
+            OpClass::AmService => "am_service",
+            OpClass::BatchOccupancy => "batch_occupancy",
+            OpClass::CombineOccupancy => "combine_occupancy",
+            OpClass::Put => "put",
+            OpClass::Get => "get",
+            OpClass::Retry => "retry",
+            OpClass::Reclaim => "reclaim",
+            OpClass::LimboDepth => "limbo_depth",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Number of log2 buckets. Bucket 0 holds the value 0; bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`; the last bucket absorbs everything
+/// above `2^62`.
+const BUCKETS: usize = 64;
+
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Upper bound (inclusive) of bucket `i`, used as the percentile estimate.
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A concurrently-updated fixed-bucket log2 histogram.
+///
+/// Recording is lock-free: one relaxed `fetch_add` on the bucket, count and
+/// sum, plus a relaxed `fetch_max` so the true maximum survives bucket
+/// rounding. No dependencies, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Capture a plain-old-data snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the histogram. Callers must ensure quiescence.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-old-data snapshot of a [`Histogram`], mergeable with `+`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded sample (not bucket-rounded).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The value at or below which `p` percent of samples fall, estimated
+    /// as the inclusive upper bound of the log2 bucket containing that
+    /// rank, clamped by the exact maximum (so `percentile(100.0) == max`).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl std::ops::Add for HistSnapshot {
+    type Output = HistSnapshot;
+    fn add(self, rhs: HistSnapshot) -> HistSnapshot {
+        let mut buckets = self.buckets;
+        for (b, r) in buckets.iter_mut().zip(rhs.buckets.iter()) {
+            *b += r;
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count + rhs.count,
+            sum: self.sum + rhs.sum,
+            max: self.max.max(rhs.max),
+        }
+    }
+}
+
+/// One [`Histogram`] per [`OpClass`].
+#[derive(Debug)]
+pub struct ClassHistograms {
+    hists: [Histogram; OpClass::COUNT],
+}
+
+impl Default for ClassHistograms {
+    fn default() -> Self {
+        ClassHistograms {
+            hists: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
+}
+
+impl ClassHistograms {
+    /// Record one sample for `class`.
+    #[inline]
+    pub fn record(&self, class: OpClass, value: u64) {
+        self.hists[class as usize].record(value);
+    }
+
+    /// The live histogram for `class`.
+    pub fn class(&self, class: OpClass) -> &Histogram {
+        &self.hists[class as usize]
+    }
+
+    /// Zero every histogram.
+    pub fn reset(&self) {
+        for h in &self.hists {
+            h.reset();
+        }
+    }
+
+    /// Snapshot every histogram, in [`OpClass::ALL`] order.
+    pub fn snapshot(&self) -> [HistSnapshot; OpClass::COUNT] {
+        std::array::from_fn(|i| self.hists[i].snapshot())
+    }
+}
+
+/// The per-locale metric registry: the existing [`CommStats`] counters
+/// (the counter half — same names, same semantics) plus per-class latency
+/// histograms (the new half).
+///
+/// `Registry` derefs to [`CommStats`], so `locale.stats.am_sent…` call
+/// sites keep compiling and counting exactly as before.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: CommStats,
+    latency: ClassHistograms,
+}
+
+impl Deref for Registry {
+    type Target = CommStats;
+    fn deref(&self) -> &CommStats {
+        &self.counters
+    }
+}
+
+impl Registry {
+    /// The counter half.
+    pub fn counters(&self) -> &CommStats {
+        &self.counters
+    }
+
+    /// The histogram half.
+    pub fn latency(&self) -> &ClassHistograms {
+        &self.latency
+    }
+
+    /// Record one latency/occupancy sample. Charges no virtual time and
+    /// touches no counters.
+    #[inline]
+    pub fn record(&self, class: OpClass, value: u64) {
+        self.latency.record(class, value);
+    }
+
+    /// Zero both halves. Callers must ensure quiescence.
+    pub fn reset(&self) {
+        self.counters.reset();
+        self.latency.reset();
+    }
+
+    /// Capture both halves as one [`TelemetrySnapshot`].
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            comm: self.counters.snapshot(),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// A plain-old-data snapshot of a [`Registry`]: the communication counters
+/// plus one histogram snapshot per op class. Mergeable with `+` to fold
+/// per-locale registries into cluster totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// The counter half (see [`CommSnapshot`]).
+    pub comm: CommSnapshot,
+    latency: [HistSnapshot; OpClass::COUNT],
+}
+
+impl Default for TelemetrySnapshot {
+    fn default() -> Self {
+        TelemetrySnapshot {
+            comm: CommSnapshot::default(),
+            latency: [HistSnapshot::default(); OpClass::COUNT],
+        }
+    }
+}
+
+impl TelemetrySnapshot {
+    /// The histogram snapshot for `class`.
+    pub fn class(&self, class: OpClass) -> &HistSnapshot {
+        &self.latency[class as usize]
+    }
+
+    /// Iterate `(class, histogram)` pairs for classes that recorded at
+    /// least one sample.
+    pub fn nonempty(&self) -> impl Iterator<Item = (OpClass, &HistSnapshot)> {
+        OpClass::ALL
+            .iter()
+            .map(move |&c| (c, self.class(c)))
+            .filter(|(_, h)| !h.is_empty())
+    }
+
+    /// Render the non-empty classes as a hand-rolled JSON object:
+    /// `{"am_round_trip": {"count": …, "p50": …, "p99": …, "max": …,
+    /// "mean": …}, …}`. Serde-free by design.
+    pub fn latency_json(&self) -> String {
+        let mut out = String::from("{");
+        for (c, h) in self.nonempty() {
+            if out.len() > 1 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(c.name());
+            out.push_str("\": {\"count\": ");
+            out.push_str(&h.count().to_string());
+            out.push_str(", \"p50\": ");
+            out.push_str(&h.percentile(50.0).to_string());
+            out.push_str(", \"p99\": ");
+            out.push_str(&h.percentile(99.0).to_string());
+            out.push_str(", \"max\": ");
+            out.push_str(&h.max().to_string());
+            out.push_str(", \"mean\": ");
+            out.push_str(&h.mean().to_string());
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl std::ops::Add for TelemetrySnapshot {
+    type Output = TelemetrySnapshot;
+    fn add(self, rhs: TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            comm: self.comm + rhs.comm,
+            latency: std::array::from_fn(|i| self.latency[i] + rhs.latency[i]),
+        }
+    }
+}
+
+/// One record per remote operation, stamped from the virtual-time points
+/// that already exist in the simulator: issue at the sender, arrival after
+/// the wire (plus any injected delay), handler start after queueing behind
+/// busy server slots, handler end, and the reply landing back at the
+/// sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What kind of operation this span describes.
+    pub class: OpClass,
+    /// Locale that issued the operation.
+    pub src: LocaleId,
+    /// Locale that serviced it.
+    pub dest: LocaleId,
+    /// Sender virtual time when the operation was issued.
+    pub issue_vtime: u64,
+    /// Destination virtual time when the message arrived (issue + wire +
+    /// injected delay).
+    pub arrive_vtime: u64,
+    /// Virtual time the handler actually started — `max(arrival, slot
+    /// free)`; `start - arrive` is the queueing delay.
+    pub start_vtime: u64,
+    /// Virtual time the handler (or the operation) completed.
+    pub end_vtime: u64,
+    /// Class-specific tag: the fault decision index for
+    /// [`OpClass::Retry`], the occupancy for batch/combine spans, zero
+    /// otherwise.
+    pub tag: u64,
+}
+
+impl Span {
+    /// Render as one hand-rolled JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"class\": \"{}\", \"src\": {}, \"dest\": {}, \"issue\": {}, \
+             \"arrive\": {}, \"start\": {}, \"end\": {}, \"tag\": {}}}",
+            self.class.name(),
+            self.src,
+            self.dest,
+            self.issue_vtime,
+            self.arrive_vtime,
+            self.start_vtime,
+            self.end_vtime,
+            self.tag
+        )
+    }
+}
+
+/// Where spans go. Implementations must be cheap and thread-safe: sinks
+/// are called from progress threads and task threads concurrently.
+pub trait Sink: Send + Sync + 'static {
+    /// Record one span.
+    fn record(&self, span: &Span);
+    /// Flush any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// The zero-cost default: discards everything. Installing it is equivalent
+/// to installing no sink at all (the uninstalled fast path is a single
+/// `OnceLock::get`), but makes the "telemetry adds zero counter drift"
+/// guarantee testable end to end.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _span: &Span) {}
+}
+
+/// An in-memory ring buffer of the most recent `capacity` spans, for
+/// tests.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Span>>,
+}
+
+impl RingSink {
+    /// A ring that keeps the most recent `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Drain and return every buffered span, oldest first.
+    pub fn take(&self) -> Vec<Span> {
+        self.buf
+            .lock()
+            .map(|mut b| b.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.buf.lock().map(|b| b.len()).unwrap_or(0)
+    }
+
+    /// True when no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, span: &Span) {
+        if let Ok(mut b) = self.buf.lock() {
+            if b.len() == self.capacity {
+                b.pop_front();
+            }
+            b.push_back(*span);
+        }
+    }
+}
+
+/// Writes one hand-rolled JSON object per span, newline-delimited, to a
+/// file — the harness trace format. Buffered; flushed on [`Sink::flush`]
+/// and on drop.
+#[derive(Debug)]
+pub struct JsonLinesSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonLinesSink {
+    /// Create (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonLinesSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn record(&self, span: &Span) {
+        if let Ok(mut w) = self.out.lock() {
+            let _ = writeln!(w, "{}", span.to_json());
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut w) = self.out.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Bucket i's upper bound really is the largest value mapping to i.
+        for i in 1..62 {
+            assert_eq!(bucket_of(bucket_upper(i)), i);
+            assert_eq!(bucket_of(bucket_upper(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn percentiles_and_exact_max() {
+        let h = Histogram::default();
+        for v in [100u64, 200, 300, 400, 10_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 11_000);
+        assert_eq!(s.max(), 10_000);
+        // p50 (the median, 300) falls in the bucket [256, 511].
+        assert_eq!(s.percentile(50.0), 511);
+        // The tail percentiles are clamped by the exact max, not the
+        // bucket bound (16383).
+        assert_eq!(s.percentile(99.0), 10_000);
+        assert_eq!(s.percentile(100.0), 10_000);
+        // Percentiles are monotone in p.
+        assert!(s.percentile(10.0) <= s.percentile(90.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::default().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(50.0), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counts_and_maxes() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(10);
+        b.record(1000);
+        b.record(1);
+        let m = a.snapshot() + b.snapshot();
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 1011);
+        assert_eq!(m.max(), 1000);
+    }
+
+    #[test]
+    fn registry_derefs_to_counters_and_resets_both() {
+        let r = Registry::default();
+        r.am_sent.fetch_add(2, Ordering::Relaxed); // via Deref
+        r.record(OpClass::AmRoundTrip, 2500);
+        let t = r.telemetry_snapshot();
+        assert_eq!(t.comm.am_sent, 2);
+        assert_eq!(t.class(OpClass::AmRoundTrip).count(), 1);
+        r.reset();
+        let t = r.telemetry_snapshot();
+        assert!(t.comm.is_zero());
+        assert!(t.class(OpClass::AmRoundTrip).is_empty());
+    }
+
+    #[test]
+    fn telemetry_snapshot_merge_and_json() {
+        let r1 = Registry::default();
+        let r2 = Registry::default();
+        r1.record(OpClass::Put, 910);
+        r2.record(OpClass::Put, 1810);
+        let t = r1.telemetry_snapshot() + r2.telemetry_snapshot();
+        assert_eq!(t.class(OpClass::Put).count(), 2);
+        assert_eq!(t.class(OpClass::Put).max(), 1810);
+        let j = t.latency_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"put\": {\"count\": 2"));
+        assert!(j.contains("\"max\": 1810"));
+        // Empty classes are omitted.
+        assert!(!j.contains("rdma_atomic"));
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let ring = RingSink::new(2);
+        let mk = |tag| Span {
+            class: OpClass::AmService,
+            src: 0,
+            dest: 1,
+            issue_vtime: 0,
+            arrive_vtime: 700,
+            start_vtime: 700,
+            end_vtime: 1800,
+            tag,
+        };
+        for t in 0..5 {
+            ring.record(&mk(t));
+        }
+        assert_eq!(ring.len(), 2);
+        let spans = ring.take();
+        assert!(ring.is_empty());
+        assert_eq!(spans.iter().map(|s| s.tag).collect::<Vec<_>>(), [3, 4]);
+    }
+
+    #[test]
+    fn span_json_shape() {
+        let s = Span {
+            class: OpClass::Retry,
+            src: 3,
+            dest: 0,
+            issue_vtime: 10,
+            arrive_vtime: 20,
+            start_vtime: 30,
+            end_vtime: 40,
+            tag: 7,
+        };
+        let j = s.to_json();
+        assert_eq!(
+            j,
+            "{\"class\": \"retry\", \"src\": 3, \"dest\": 0, \"issue\": 10, \
+             \"arrive\": 20, \"start\": 30, \"end\": 40, \"tag\": 7}"
+        );
+    }
+
+    #[test]
+    fn all_names_unique_and_indexed() {
+        let mut names: Vec<_> = OpClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OpClass::COUNT);
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+}
