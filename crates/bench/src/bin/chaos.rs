@@ -13,11 +13,17 @@
 //! fails. Same-seed reruns inject at identical decision points, so a
 //! failing cell reproduces with its printed seed (see DESIGN.md, "Fault
 //! model & invariants").
+//!
+//! `--reclaimer ebr|hp` swaps the memory-reclamation backend under every
+//! workload (default: epoch-based). The stalled-task plan checks opposite
+//! invariants per backend: EBR must be *holding* garbage behind the pin,
+//! HP must have kept *reclaiming* despite it.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use pgas_nb::epoch::ReclaimSnapshot;
 use pgas_nb::prelude::*;
 use pgas_nb::sim::faults::invariants::InvariantChecker;
 use pgas_nb::sim::{faults, telemetry, FaultPlan, OpClass, RetryPolicy, TelemetrySnapshot};
@@ -43,6 +49,21 @@ impl Workload {
             Workload::Queue => "queue",
             Workload::Stack => "stack",
             Workload::Map => "map",
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Ebr,
+    Hp,
+}
+
+impl Backend {
+    fn label(self) -> &'static str {
+        match self {
+            Backend::Ebr => "ebr",
+            Backend::Hp => "hp",
         }
     }
 }
@@ -112,6 +133,7 @@ fn cfg(plan: &FaultPlan) -> RuntimeConfig {
 struct CellOutcome {
     ops: u64,
     telemetry: TelemetrySnapshot,
+    reclaim: ReclaimSnapshot,
     failures: Vec<String>,
 }
 
@@ -123,18 +145,20 @@ fn fail(log: &FailLog, msg: String) {
 
 /// Run the worker topology: `TASKS_PER_LOCALE` tasks on every locale, plus
 /// (when the plan asks for it) one extra task on the stalled locale that
-/// registers a token, pins it, and holds the pin until every worker has
+/// registers a guard, pins it, and holds the pin until every worker has
 /// finished — the paper's "one task stops cooperating" scenario. Returns
-/// the number of live (deferred, unreclaimed) objects sampled while the
-/// pin was still held.
-fn drive(
+/// `(live, reclaimed)` sampled while the pin was still held: the number
+/// of live (deferred, unreclaimed) objects, and how many objects the
+/// backend managed to reclaim despite the stall.
+fn drive<R: Reclaimer>(
     rt: &Runtime,
     plan: &FaultPlan,
-    em: &EpochManager,
+    em: &R,
     work: impl Fn(u64) + Send + Sync,
-) -> u64 {
+) -> (u64, u64) {
     let done = AtomicU64::new(0);
     let live_while_stalled = AtomicU64::new(0);
+    let reclaimed_while_stalled = AtomicU64::new(0);
     rt.coforall_locales(|lid| {
         let stall_here = plan.stalled_task == Some(lid);
         let tasks = TASKS_PER_LOCALE + usize::from(stall_here);
@@ -145,9 +169,12 @@ fn drive(
                 while done.load(Ordering::Acquire) < WORKERS {
                     std::thread::yield_now();
                 }
-                // Everyone else is finished and this pin has blocked epoch
-                // advancement the whole time: their garbage must be visible.
+                // Everyone else is finished while this pin was held the
+                // whole time. Under EBR the pin blocks epoch advancement
+                // and their garbage must still be visible; under HP the
+                // idle guard protects nothing and reclamation continues.
                 live_while_stalled.store(rt.live_objects().max(0) as u64, Ordering::Relaxed);
+                reclaimed_while_stalled.store(em.stats().objects_reclaimed, Ordering::Relaxed);
                 tok.unpin();
             } else {
                 work(lid as u64 * TASKS_PER_LOCALE as u64 + t as u64);
@@ -155,7 +182,10 @@ fn drive(
             }
         });
     });
-    live_while_stalled.load(Ordering::Relaxed)
+    (
+        live_while_stalled.load(Ordering::Relaxed),
+        reclaimed_while_stalled.load(Ordering::Relaxed),
+    )
 }
 
 /// Periodic hammer on a shared ABA-protected object: reads feed the
@@ -172,19 +202,19 @@ fn hammer_aba(aba: &AtomicAbaObject<u64>, checker: &InvariantChecker, task: u64,
     }
 }
 
-fn queue_cell(
+fn queue_cell<R: Reclaimer>(
     rt: &Runtime,
     plan: &FaultPlan,
     checker: &Arc<InvariantChecker>,
     sc: &Scale,
     ops: &AtomicU64,
     log: &FailLog,
-) -> u64 {
-    let q = MsQueue::<u64>::new();
-    q.epoch_manager().set_observer(checker.clone());
+) -> (u64, u64, ReclaimSnapshot) {
+    let q = MsQueue::<u64, R>::with_reclaimer();
+    q.reclaimer().set_observer(checker.clone());
     let aba = AtomicAbaObject::<u64>::new_on(0, GlobalPtr::null());
     let dequeued = AtomicU64::new(0);
-    let live_stalled = drive(rt, plan, q.epoch_manager(), |task| {
+    let stalled = drive(rt, plan, q.reclaimer(), |task| {
         let tok = q.register();
         for i in 0..sc.ops {
             q.enqueue(&tok, task << 32 | i);
@@ -221,22 +251,22 @@ fn queue_cell(
     q.try_reclaim();
     q.try_reclaim();
     q.clear_reclaim();
-    live_stalled
+    (stalled.0, stalled.1, q.reclaimer().stats())
 }
 
-fn stack_cell(
+fn stack_cell<R: Reclaimer>(
     rt: &Runtime,
     plan: &FaultPlan,
     checker: &Arc<InvariantChecker>,
     sc: &Scale,
     ops: &AtomicU64,
     log: &FailLog,
-) -> u64 {
-    let s = LockFreeStack::<u64>::new();
-    s.epoch_manager().set_observer(checker.clone());
+) -> (u64, u64, ReclaimSnapshot) {
+    let s = LockFreeStack::<u64, R>::with_reclaimer();
+    s.reclaimer().set_observer(checker.clone());
     let aba = AtomicAbaObject::<u64>::new_on(0, GlobalPtr::null());
     let popped = AtomicU64::new(0);
-    let live_stalled = drive(rt, plan, s.epoch_manager(), |task| {
+    let stalled = drive(rt, plan, s.reclaimer(), |task| {
         let tok = s.register();
         for i in 0..sc.ops {
             s.push(&tok, task << 32 | i);
@@ -269,21 +299,21 @@ fn stack_cell(
     s.try_reclaim();
     s.try_reclaim();
     s.clear_reclaim();
-    live_stalled
+    (stalled.0, stalled.1, s.reclaimer().stats())
 }
 
-fn map_cell(
+fn map_cell<R: Reclaimer>(
     rt: &Runtime,
     plan: &FaultPlan,
     checker: &Arc<InvariantChecker>,
     sc: &Scale,
     ops: &AtomicU64,
     log: &FailLog,
-) -> u64 {
-    let m = DistHashMap::<u64, u64>::new(32);
-    m.epoch_manager().set_observer(checker.clone());
+) -> (u64, u64, ReclaimSnapshot) {
+    let m = DistHashMap::<u64, u64, R>::with_reclaimer(32);
+    m.reclaimer().set_observer(checker.clone());
     let aba = AtomicAbaObject::<u64>::new_on(0, GlobalPtr::null());
-    let live_stalled = drive(rt, plan, m.epoch_manager(), |task| {
+    let stalled = drive(rt, plan, m.reclaimer(), |task| {
         let tok = m.register();
         for i in 0..sc.ops {
             let k = task << 32 | i;
@@ -319,18 +349,18 @@ fn map_cell(
     m.try_reclaim();
     m.try_reclaim();
     m.clear_reclaim();
-    live_stalled
+    (stalled.0, stalled.1, m.reclaimer().stats())
 }
 
-fn run_cell(plan: &FaultPlan, wl: Workload, sc: &Scale) -> CellOutcome {
+fn run_cell<R: Reclaimer>(plan: &FaultPlan, wl: Workload, sc: &Scale) -> CellOutcome {
     let rt = Runtime::new(cfg(plan));
     let checker = InvariantChecker::new();
     let ops = AtomicU64::new(0);
     let log: FailLog = Mutex::new(Vec::new());
-    let live_stalled = rt.run(|| match wl {
-        Workload::Queue => queue_cell(&rt, plan, &checker, sc, &ops, &log),
-        Workload::Stack => stack_cell(&rt, plan, &checker, sc, &ops, &log),
-        Workload::Map => map_cell(&rt, plan, &checker, sc, &ops, &log),
+    let (live_stalled, reclaimed_stalled, reclaim) = rt.run(|| match wl {
+        Workload::Queue => queue_cell::<R>(&rt, plan, &checker, sc, &ops, &log),
+        Workload::Stack => stack_cell::<R>(&rt, plan, &checker, sc, &ops, &log),
+        Workload::Map => map_cell::<R>(&rt, plan, &checker, sc, &ops, &log),
     });
     let mut failures = log.into_inner().unwrap();
     let telemetry = rt.total_telemetry();
@@ -345,8 +375,24 @@ fn run_cell(plan: &FaultPlan, wl: Workload, sc: &Scale) -> CellOutcome {
             WORKERS * sc.ops
         ));
     }
-    if plan.stalled_task.is_some() && live_stalled == 0 {
-        failures.push("stalled pin held no garbage live (scenario did not bite)".into());
+    // The stalled-task scenario proves opposite properties per backend:
+    // an EBR pin must have held garbage live the whole time, while an HP
+    // guard that protects nothing must not have blocked reclamation.
+    if plan.stalled_task.is_some() {
+        if live_stalled == 0 {
+            failures.push("stalled pin held no garbage live (scenario did not bite)".into());
+        }
+        if R::NEEDS_PROTECT && reclaimed_stalled == 0 {
+            failures.push("hazard backend reclaimed nothing behind the stalled guard".into());
+        }
+    }
+    // Whole-cell reclamation conservation: after the teardown clear,
+    // everything the structure retired must have been freed.
+    if reclaim.objects_deferred != reclaim.objects_reclaimed {
+        failures.push(format!(
+            "reclaim conservation broken: retired {} but reclaimed {}",
+            reclaim.objects_deferred, reclaim.objects_reclaimed
+        ));
     }
     if rt.live_objects() != 0 {
         failures.push(format!(
@@ -386,6 +432,7 @@ fn run_cell(plan: &FaultPlan, wl: Workload, sc: &Scale) -> CellOutcome {
     CellOutcome {
         ops,
         telemetry,
+        reclaim,
         failures,
     }
 }
@@ -440,6 +487,48 @@ fn checker_self_test() -> Result<(), String> {
     })
 }
 
+/// The hazard-pointer twin of [`checker_self_test`]: retire an object that
+/// another guard holds a validated hazard on, run the planted buggy scan
+/// that ignores hazard slots, and require the checker to flag the
+/// violation.
+fn checker_self_test_hp() -> Result<(), String> {
+    let rt = Runtime::new(RuntimeConfig::cluster(2).without_network_atomics());
+    rt.run(|| {
+        let dom = HazardReclaimer::new();
+        let checker = InvariantChecker::new();
+        dom.set_observer(checker.clone());
+        let reader = dom.register();
+        let writer = dom.register();
+        let cell = AtomicObject::new(alloc_local(&current_runtime(), 11u64));
+        let held = reader.protect_root(0, &cell);
+        if held.is_null() {
+            return Err("hazard publication failed".to_string());
+        }
+        let fresh = alloc_local(&current_runtime(), 12u64);
+        writer.defer_delete(cell.exchange(fresh));
+        // A correct scan keeps the protected object alive.
+        dom.try_reclaim();
+        if checker.check().is_err() {
+            return Err("correct scan was flagged as a violation".to_string());
+        }
+        // The planted bug frees it anyway; the checker must object.
+        dom.debug_scan_ignoring_hazards();
+        let caught = checker
+            .check()
+            .is_err_and(|errs| errs.iter().any(|e| e.contains("hazard violation")));
+        // Teardown: the protected object was (incorrectly) freed by the
+        // planted bug; only the current cell object remains.
+        writer.defer_delete(cell.read());
+        drop(reader);
+        drop(writer);
+        dom.clear();
+        if !caught {
+            return Err("planted hazard violation was NOT caught by the checker".to_string());
+        }
+        Ok(())
+    })
+}
+
 fn print_row(plan: &str, workload: &str, detail: &str, ok: bool) {
     println!(
         "{plan:<12} {workload:<9} {detail:<58} {}",
@@ -453,6 +542,7 @@ fn main() -> ExitCode {
     let sc = if quick { &QUICK } else { &FULL };
     let mut seed = 42u64;
     let mut workloads: Vec<Workload> = Workload::ALL.to_vec();
+    let mut backend = Backend::Ebr;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -474,6 +564,13 @@ fn main() -> ExitCode {
                     })
                     .collect();
             }
+            "--reclaimer" => {
+                backend = match it.next().expect("--reclaimer takes ebr|hp").as_str() {
+                    "ebr" => Backend::Ebr,
+                    "hp" => Backend::Hp,
+                    other => panic!("unknown reclaimer {other:?} (ebr|hp)"),
+                };
+            }
             "--quick" => {}
             other => panic!("unknown argument {other:?}"),
         }
@@ -481,8 +578,9 @@ fn main() -> ExitCode {
 
     println!(
         "chaos harness: seed={seed} locales={LOCALES} workers={WORKERS} \
-         ops/worker={} ({})",
+         ops/worker={} reclaimer={} ({})",
         sc.ops,
+        backend.label(),
         if quick { "quick" } else { "full" }
     );
     println!(
@@ -493,7 +591,10 @@ fn main() -> ExitCode {
     let mut failed = 0u32;
     for (pname, plan) in build_plans(seed) {
         for &wl in &workloads {
-            let out = run_cell(&plan, wl, sc);
+            let out = match backend {
+                Backend::Ebr => run_cell::<EpochManager>(&plan, wl, sc),
+                Backend::Hp => run_cell::<HazardReclaimer>(&plan, wl, sc),
+            };
             let comm = &out.telemetry.comm;
             let detail = format!(
                 "ops={} drops={} delays={} dups={} retries={} gave_up={}",
@@ -506,6 +607,14 @@ fn main() -> ExitCode {
             );
             let ok = out.failures.is_empty();
             print_row(pname, wl.label(), &detail, ok);
+            println!(
+                "    └─ reclaim[{}]: retired={} reclaimed={} scans={} protects={}",
+                backend.label(),
+                out.reclaim.objects_deferred,
+                out.reclaim.objects_reclaimed,
+                out.reclaim.advances,
+                out.reclaim.hazard_protects,
+            );
             if !ok {
                 // Full registry snapshot for the failing cell — rendered,
                 // not hand-picked, so nothing is missing when debugging.
@@ -528,9 +637,16 @@ fn main() -> ExitCode {
     }
 
     match checker_self_test() {
-        Ok(()) => print_row("self-test", "checker", "planted early free caught", true),
+        Ok(()) => print_row("self-test", "ebr", "planted early free caught", true),
         Err(e) => {
-            print_row("self-test", "checker", &e, false);
+            print_row("self-test", "ebr", &e, false);
+            failed += 1;
+        }
+    }
+    match checker_self_test_hp() {
+        Ok(()) => print_row("self-test", "hp", "planted hazard violation caught", true),
+        Err(e) => {
+            print_row("self-test", "hp", &e, false);
             failed += 1;
         }
     }

@@ -42,10 +42,11 @@ use pgas_nb::sim::{CommSnapshot, TelemetrySnapshot};
 use pgas_bench::json::{jnum, jstr};
 use pgas_bench::{
     ablate_combining, ablate_election, ablate_local_manager, ablate_privatization,
-    ablate_reclamation_scheme, ablate_scatter, ablate_wide, comm_breakdown, fig3_dist, fig3_shared,
-    fig7_read_only, fig_deletion, runtime, CombineWorkload, Sample, Variant, LOCALE_SWEEP,
-    TASK_SWEEP,
+    ablate_reclaimer, ablate_reclamation_scheme, ablate_scatter, ablate_wide, comm_breakdown,
+    fig3_dist, fig3_shared, fig7_read_only, fig_deletion, runtime, A8Structure, CombineWorkload,
+    ReclaimAblation, Sample, Variant, LOCALE_SWEEP, TASK_SWEEP,
 };
+use pgas_nb::prelude::{EpochManager, HazardReclaimer};
 
 /// Everything printed this run, teed to `target/harness_output.txt` so a
 /// full-scale run's text output survives without polluting the repo root.
@@ -74,6 +75,9 @@ struct Record {
     /// `TelemetrySnapshot::latency_json()` — `{}` when no registry was
     /// captured for this row.
     latency: String,
+    /// Per-backend reclamation counters, pre-rendered as a JSON object —
+    /// only A8 rows carry one (null elsewhere).
+    reclaim: Option<String>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -153,6 +157,60 @@ fn row_full(
         am_count: telemetry.map(|t| t.comm.am_sent),
         comm: telemetry.map(|t| t.comm),
         latency: telemetry.map_or_else(|| "{}".to_string(), |t| t.latency_json()),
+        reclaim: None,
+    });
+}
+
+/// An A8 row: timing plus the backend's reclamation counters, attached to
+/// the record as a `reclaim` JSON object (`validate_results` checks the
+/// schema on every "A8 " row).
+fn row_reclaim(structure: A8Structure, locales: usize, r: &ReclaimAblation) {
+    let stall_lbl = if r.stalled { "stalled_task" } else { "" };
+    let label = format!("A8 {} {}", structure.label(), r.backend);
+    say!(
+        "{label:<34} locales={locales:<3} {stall_lbl:<18} vtime={:>12.3} ms  \
+         ns/op={:>9.1}  mops={:>8.2}  wall={:>8.1} ms",
+        r.sample.vtime_ns as f64 / 1e6,
+        r.sample.ns_per_op(),
+        r.sample.mops(),
+        r.sample.wall_ns as f64 / 1e6,
+    );
+    if r.stalled {
+        say!(
+            "    └─ stalled: outstanding={} reclaimed-during-stall={}",
+            r.stalled_outstanding,
+            r.stalled_reclaimed
+        );
+    }
+    let s = &r.reclaim;
+    let reclaim_json = format!(
+        "{{\"backend\": {}, \"retired\": {}, \"reclaimed\": {}, \
+         \"scans\": {}, \"hazard_protects\": {}, \"stalled\": {}, \
+         \"stalled_outstanding\": {}, \"stalled_reclaimed\": {}}}",
+        jstr(r.backend),
+        s.objects_deferred,
+        s.objects_reclaimed,
+        s.advances,
+        s.hazard_protects,
+        r.stalled,
+        r.stalled_outstanding,
+        r.stalled_reclaimed,
+    );
+    let mut name = label.trim().to_string();
+    if !stall_lbl.is_empty() {
+        name.push(' ');
+        name.push_str(stall_lbl);
+    }
+    RECORDS.lock().unwrap().push(Record {
+        name,
+        locales,
+        vtime_ns: r.sample.vtime_ns,
+        ns_per_op: r.sample.ns_per_op(),
+        mops: r.sample.mops(),
+        am_count: None,
+        comm: None,
+        latency: "{}".to_string(),
+        reclaim: Some(reclaim_json),
     });
 }
 
@@ -166,7 +224,7 @@ fn write_results_json(path: &str) {
              \"ns_per_op\": {}, \"mops\": {}, \"am_count\": {}, \
              \"retries\": {}, \"gave_up\": {}, \"injected_drops\": {}, \
              \"injected_delays\": {}, \"injected_dups\": {}, \
-             \"comm\": {}, \"latency\": {}}}{}\n",
+             \"comm\": {}, \"latency\": {}, \"reclaim\": {}}}{}\n",
             jstr(&r.name),
             r.locales,
             r.vtime_ns,
@@ -180,6 +238,7 @@ fn write_results_json(path: &str) {
             chaos.injected_dups,
             r.comm.map_or("null".to_string(), |c| c.to_json()),
             r.latency,
+            r.reclaim.as_deref().unwrap_or("null"),
             if i + 1 < recs.len() { "," } else { "" },
         ));
     }
@@ -406,6 +465,9 @@ fn ablations(sc: &Scale) {
         }
     }
 
+    say!("\n=== Ablation A8: pluggable reclamation — EBR vs hazard pointers per structure ===");
+    a8(sc);
+
     say!("\n=== Ablation A4: compressed pointers (RDMA) vs wide fallback (DCAS/AM) ===");
     for &locales in &[2usize, 4, 8] {
         for wide in [false, true] {
@@ -439,6 +501,46 @@ fn ablations(sc: &Scale) {
                 );
             }
         }
+    }
+}
+
+/// Ablation A8: every structure churned under EBR vs distributed hazard
+/// pointers across the locale sweep, plus a `stalled_task` variant at 4
+/// locales where a forever-pinned guard shows EBR limbo growing while HP
+/// keeps reclaiming.
+fn a8(sc: &Scale) {
+    let ops = (sc.ablate_objects as u64 / 4).max(256);
+    for structure in A8Structure::ALL {
+        for &locales in &[1usize, 2, 4, 8] {
+            let ebr = ablate_reclaimer::<EpochManager>(locales, structure, ops, false);
+            row_reclaim(structure, locales, &ebr);
+            let hp = ablate_reclaimer::<HazardReclaimer>(locales, structure, ops, false);
+            row_reclaim(structure, locales, &hp);
+        }
+        // Stalled-task variant: one guard pins before the churn and never
+        // unpins until it ends.
+        let ebr = ablate_reclaimer::<EpochManager>(4, structure, ops, true);
+        row_reclaim(structure, 4, &ebr);
+        let hp = ablate_reclaimer::<HazardReclaimer>(4, structure, ops, true);
+        row_reclaim(structure, 4, &hp);
+        assert_eq!(
+            ebr.stalled_reclaimed,
+            0,
+            "A8 {}: EBR cannot reclaim behind a stalled pin",
+            structure.label()
+        );
+        assert!(
+            hp.stalled_reclaimed > 0,
+            "A8 {}: HP must keep reclaiming despite the stall",
+            structure.label()
+        );
+        assert!(
+            hp.stalled_outstanding < ebr.stalled_outstanding.max(1),
+            "A8 {}: HP garbage must stay below EBR's limbo ({} vs {})",
+            structure.label(),
+            hp.stalled_outstanding,
+            ebr.stalled_outstanding
+        );
     }
 }
 
@@ -497,6 +599,11 @@ fn main() {
     }
     if wants("ablations") || selectors.iter().any(|a| a.starts_with("ablate")) {
         ablations(sc);
+    } else if selectors.iter().any(|a| a == "a8") {
+        // Standalone A8 selector for the reclaim smoke job (the full
+        // `ablations` run already includes it).
+        say!("\n=== Ablation A8: pluggable reclamation — EBR vs hazard pointers per structure ===");
+        a8(sc);
     }
     write_results_json("BENCH_results.json");
     pgas_bench::flush_trace_sink();

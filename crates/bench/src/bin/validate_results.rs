@@ -14,6 +14,11 @@
 //!   types, plus the telemetry fields: `comm` (full counter object or
 //!   null, consistent with `am_count`) and `latency` (object mapping op
 //!   class → `{count, p50, p99, max, mean}` with `p50 ≤ p99 ≤ max`);
+//! * `reclaim` is null everywhere except the A8 reclamation-ablation
+//!   rows, which must carry the per-backend counters (backend name,
+//!   retired/reclaimed/scans/hazard-protects, stalled-task numbers) with
+//!   `reclaimed ≤ retired`, no hazard publications under EBR, and
+//!   progress behind the stall under HP;
 //! * the A1 scatter rows CI pins are present;
 //! * with `--trace`, every line of the span trace parses and satisfies
 //!   `issue ≤ arrive ≤ start ≤ end`.
@@ -87,6 +92,69 @@ fn check_latency(lat: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// The A8 rows' per-backend reclamation counters.
+fn check_reclaim(name: &str, reclaim: &Value) -> Result<(), String> {
+    let is_a8 = name.starts_with("A8 ");
+    if reclaim.is_null() {
+        return if is_a8 {
+            Err("A8 row with null reclaim object".into())
+        } else {
+            Ok(())
+        };
+    }
+    if !is_a8 {
+        return Err("non-A8 row carries a reclaim object".into());
+    }
+    reclaim.as_obj().ok_or("reclaim is not an object")?;
+    let backend = reclaim
+        .get("backend")
+        .and_then(Value::as_str)
+        .ok_or("reclaim: missing/invalid backend")?;
+    if !matches!(backend, "ebr" | "local-ebr" | "hp") {
+        return Err(format!("reclaim: unknown backend {backend:?}"));
+    }
+    for key in [
+        "retired",
+        "reclaimed",
+        "scans",
+        "hazard_protects",
+        "stalled_outstanding",
+        "stalled_reclaimed",
+    ] {
+        num(reclaim, key).map_err(|e| format!("reclaim: {e}"))?;
+    }
+    let stalled = match reclaim.get("stalled") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err("reclaim: missing/invalid stalled flag".into()),
+    };
+    let retired = num(reclaim, "retired").unwrap();
+    let reclaimed = num(reclaim, "reclaimed").unwrap();
+    let protects = num(reclaim, "hazard_protects").unwrap();
+    if reclaimed > retired {
+        return Err(format!(
+            "reclaim: reclaimed ({reclaimed}) exceeds retired ({retired})"
+        ));
+    }
+    if backend == "hp" && protects == 0.0 {
+        return Err("reclaim: hp backend published no hazards".into());
+    }
+    if backend != "hp" && protects != 0.0 {
+        return Err(format!(
+            "reclaim: {backend} backend claims {protects} hazard publications"
+        ));
+    }
+    let stalled_reclaimed = num(reclaim, "stalled_reclaimed").unwrap();
+    if stalled && backend == "hp" && stalled_reclaimed == 0.0 {
+        return Err("reclaim: hp made no progress behind the stalled task".into());
+    }
+    if stalled && backend == "ebr" && stalled_reclaimed != 0.0 {
+        return Err(format!(
+            "reclaim: ebr reclaimed {stalled_reclaimed} objects behind a stalled pin"
+        ));
+    }
+    Ok(())
+}
+
 fn check_row(row: &Value) -> Result<(), String> {
     row.as_obj().ok_or("row is not an object")?;
     let name = row
@@ -136,6 +204,12 @@ fn check_row(row: &Value) -> Result<(), String> {
         .map_err(|e| ctx(e.into()))?;
     check_latency(lat).map_err(ctx)?;
 
+    let reclaim = row
+        .get("reclaim")
+        .ok_or("missing key \"reclaim\"")
+        .map_err(|e| ctx(e.into()))?;
+    check_reclaim(name, reclaim).map_err(ctx)?;
+
     // A row measured with a runtime in hand must have latency samples:
     // every remote (or tracked local) operation records into some class.
     if !comm.is_null() && lat.as_obj().unwrap().is_empty() {
@@ -154,7 +228,12 @@ fn check_results(text: &str) -> Result<usize, String> {
         check_row(row)?;
     }
     // The rows CI's perf guard pins must exist under their stable names.
-    for series in ["A1 scatter=on", "A1 scatter=off"] {
+    for series in [
+        "A1 scatter=on",
+        "A1 scatter=off",
+        "A8 stack ebr stalled_task",
+        "A8 stack hp stalled_task",
+    ] {
         if !rows
             .iter()
             .any(|r| r.get("name").and_then(Value::as_str) == Some(series))

@@ -793,6 +793,290 @@ pub fn ablate_combining(
     out.unwrap()
 }
 
+/// Which structure an A8 (pluggable-reclamation) measurement churns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum A8Structure {
+    /// Treiber stack (`LockFreeStack`).
+    Stack,
+    /// Michael–Scott queue (`MsQueue`).
+    Queue,
+    /// Harris ordered list (`LockFreeList`).
+    List,
+    /// Distributed hash map (`DistHashMap`).
+    Map,
+    /// Skip list (`LockFreeSkipList`; towers collapse to 1 under HP).
+    SkipList,
+    /// RCU resizable array (`RcuArray`; grow retires tables).
+    RcuArray,
+}
+
+impl A8Structure {
+    pub const ALL: [A8Structure; 6] = [
+        A8Structure::Stack,
+        A8Structure::Queue,
+        A8Structure::List,
+        A8Structure::Map,
+        A8Structure::SkipList,
+        A8Structure::RcuArray,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            A8Structure::Stack => "stack",
+            A8Structure::Queue => "queue",
+            A8Structure::List => "list",
+            A8Structure::Map => "map",
+            A8Structure::SkipList => "skiplist",
+            A8Structure::RcuArray => "rcu-array",
+        }
+    }
+}
+
+/// Result of one A8 measurement: timing plus the backend's reclamation
+/// counters, and — for `stalled` runs — how much garbage was outstanding
+/// while a task sat forever-pinned (the number that separates HP from
+/// EBR).
+pub struct ReclaimAblation {
+    pub sample: Sample,
+    /// `Reclaimer::backend_name()` ("ebr" / "hp").
+    pub backend: &'static str,
+    /// Final counters after the quiescent `clear`.
+    pub reclaim: pgas_nb::epoch::ReclaimSnapshot,
+    /// Whether a stalled (forever-pinned) task was held during churn.
+    pub stalled: bool,
+    /// Deferred-but-not-reclaimed objects at the end of churn, while the
+    /// staller was still pinned (0 for non-stalled runs).
+    pub stalled_outstanding: u64,
+    /// Objects reclaimed during churn despite the staller (0 for
+    /// non-stalled runs).
+    pub stalled_reclaimed: u64,
+}
+
+/// Churn phase shared by every A8 arm: optionally park a forever-pinned
+/// guard, run `churn` on every task, and snapshot the backend's counters
+/// *while the staller is still pinned*.
+fn a8_drive<R: Reclaimer>(
+    rt: &Runtime,
+    em: &R,
+    tasks: usize,
+    stalled: bool,
+    churn: impl Fn(usize) + Sync,
+) -> (u64, u64, u64, u64) {
+    let staller = if stalled {
+        let g = em.register();
+        g.pin();
+        Some(g)
+    } else {
+        None
+    };
+    let wall = Instant::now();
+    let t0 = vtime::now();
+    rt.coforall_locales(|l| {
+        rt.coforall_tasks(tasks, |t| churn(l as usize * tasks + t));
+    });
+    let vt = vtime::now() - t0;
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let (mut outstanding, mut reclaimed_during) = (0, 0);
+    if stalled {
+        let s = em.stats();
+        outstanding = s.objects_deferred - s.objects_reclaimed;
+        reclaimed_during = s.objects_reclaimed;
+    }
+    if let Some(g) = staller {
+        g.unpin();
+        drop(g);
+    }
+    (vt, wall_ns, outstanding, reclaimed_during)
+}
+
+/// Ablation A8: the same churn workload on every structure under EBR vs
+/// distributed hazard pointers. Two tasks per locale; each task performs
+/// `ops_per_task` operations with periodic `try_reclaim` calls. With
+/// `stalled`, one extra guard pins before the churn and never unpins
+/// until it ends — EBR's limbo lists grow unboundedly behind it, while
+/// HP keeps reclaiming everything unprotected (the per-structure,
+/// multi-locale version of the Hart et al. trade-off A6 measures on a
+/// plain chain).
+pub fn ablate_reclaimer<R: Reclaimer>(
+    locales: usize,
+    structure: A8Structure,
+    ops_per_task: u64,
+    stalled: bool,
+) -> ReclaimAblation {
+    let rt = traced(Runtime::new(RuntimeConfig::cluster(locales)));
+    let tasks = 2usize;
+    let total_ops = ops_per_task * (locales * tasks) as u64;
+    // Deterministic per-task key stream (xorshift on the task index).
+    let key = |t: usize, h: &mut u64| -> u16 {
+        *h ^= *h << 13;
+        *h ^= *h >> 7;
+        *h ^= *h << 17;
+        ((*h).wrapping_add(t as u64) % 192) as u16
+    };
+    let mut out = None;
+    rt.run(|| {
+        let (vt, wall_ns, outstanding, during, backend, reclaim);
+        match structure {
+            A8Structure::Stack => {
+                let s = LockFreeStack::<u64, R>::with_reclaimer();
+                (vt, wall_ns, outstanding, during) =
+                    a8_drive(&rt, s.reclaimer(), tasks, stalled, |t| {
+                        let tok = s.register();
+                        for i in 0..ops_per_task {
+                            s.push(&tok, t as u64 * ops_per_task + i);
+                            if i % 2 == 0 {
+                                let _ = s.pop(&tok);
+                            }
+                            if i % 32 == 0 {
+                                s.try_reclaim();
+                            }
+                        }
+                    });
+                {
+                    let tok = s.register();
+                    while s.pop(&tok).is_some() {}
+                }
+                s.clear_reclaim();
+                backend = s.reclaimer().backend_name();
+                reclaim = s.reclaimer().stats();
+            }
+            A8Structure::Queue => {
+                let q = MsQueue::<u64, R>::with_reclaimer();
+                (vt, wall_ns, outstanding, during) =
+                    a8_drive(&rt, q.reclaimer(), tasks, stalled, |t| {
+                        let tok = q.register();
+                        for i in 0..ops_per_task {
+                            q.enqueue(&tok, t as u64 * ops_per_task + i);
+                            if i % 2 == 0 {
+                                let _ = q.dequeue(&tok);
+                            }
+                            if i % 32 == 0 {
+                                q.try_reclaim();
+                            }
+                        }
+                    });
+                {
+                    let tok = q.register();
+                    while q.dequeue(&tok).is_some() {}
+                }
+                q.clear_reclaim();
+                backend = q.reclaimer().backend_name();
+                reclaim = q.reclaimer().stats();
+            }
+            A8Structure::List => {
+                let l = LockFreeList::<u16, R>::with_reclaimer();
+                (vt, wall_ns, outstanding, during) =
+                    a8_drive(&rt, l.reclaimer(), tasks, stalled, |t| {
+                        let tok = l.register();
+                        let mut h = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        for i in 0..ops_per_task {
+                            let k = key(t, &mut h);
+                            if i % 2 == 0 {
+                                l.insert(&tok, k);
+                            } else {
+                                l.remove(&tok, k);
+                            }
+                            if i % 32 == 0 {
+                                l.try_reclaim();
+                            }
+                        }
+                    });
+                l.clear_reclaim();
+                backend = l.reclaimer().backend_name();
+                reclaim = l.reclaimer().stats();
+            }
+            A8Structure::Map => {
+                let m = DistHashMap::<u16, u64, R>::with_reclaimer(32);
+                (vt, wall_ns, outstanding, during) =
+                    a8_drive(&rt, m.reclaimer(), tasks, stalled, |t| {
+                        let tok = m.register();
+                        let mut h = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        for i in 0..ops_per_task {
+                            let k = key(t, &mut h);
+                            if i % 2 == 0 {
+                                m.insert(&tok, k, i);
+                            } else {
+                                m.remove(&tok, &k);
+                            }
+                            if i % 32 == 0 {
+                                m.try_reclaim();
+                            }
+                        }
+                    });
+                m.clear_reclaim();
+                backend = m.reclaimer().backend_name();
+                reclaim = m.reclaimer().stats();
+            }
+            A8Structure::SkipList => {
+                let s = LockFreeSkipList::<u16, R>::with_reclaimer();
+                (vt, wall_ns, outstanding, during) =
+                    a8_drive(&rt, s.reclaimer(), tasks, stalled, |t| {
+                        let tok = s.register();
+                        let mut h = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        for i in 0..ops_per_task {
+                            let k = key(t, &mut h);
+                            if i % 2 == 0 {
+                                s.insert(&tok, k);
+                            } else {
+                                s.remove(&tok, k);
+                            }
+                            if i % 32 == 0 {
+                                s.try_reclaim();
+                            }
+                        }
+                    });
+                s.clear_reclaim();
+                backend = s.reclaimer().backend_name();
+                reclaim = s.reclaimer().stats();
+            }
+            A8Structure::RcuArray => {
+                let a = RcuArray::<R>::with_reclaimer(16, 256);
+                (vt, wall_ns, outstanding, during) =
+                    a8_drive(&rt, a.reclaimer(), tasks, stalled, |t| {
+                        let tok = a.register();
+                        for i in 0..ops_per_task {
+                            let idx = (i as usize * 7 + t) % 256;
+                            if i % 16 == 0 {
+                                a.grow(&tok, a.len() + 8);
+                            } else if i % 4 == 0 {
+                                a.write(&tok, idx, i);
+                            } else {
+                                let _ = a.read(&tok, idx);
+                            }
+                            if i % 32 == 0 {
+                                a.try_reclaim();
+                            }
+                        }
+                    });
+                a.clear_reclaim();
+                backend = a.reclaimer().backend_name();
+                reclaim = a.reclaimer().stats();
+            }
+        }
+        assert_eq!(
+            reclaim.objects_deferred,
+            reclaim.objects_reclaimed,
+            "A8 {} {backend}: conservation after clear",
+            structure.label()
+        );
+        out = Some(ReclaimAblation {
+            sample: Sample {
+                vtime_ns: vt,
+                wall_ns,
+                ops: total_ops,
+            },
+            backend,
+            reclaim,
+            stalled,
+            stalled_outstanding: outstanding,
+            stalled_reclaimed: during,
+        });
+    });
+    let r = out.unwrap();
+    assert_eq!(rt.live_objects(), 0, "A8 {} leaked", structure.label());
+    r
+}
+
 /// Build a runtime for a figure measurement.
 pub fn runtime(locales: usize, network_atomics: bool) -> Runtime {
     let cfg = if network_atomics {
@@ -892,6 +1176,47 @@ mod tests {
             on.vtime_ns,
             off.vtime_ns
         );
+    }
+
+    #[test]
+    fn a8_hp_reclaims_under_stall_while_ebr_limbo_grows() {
+        use pgas_nb::epoch::HazardReclaimer;
+        let ebr = ablate_reclaimer::<EpochManager>(2, A8Structure::Stack, 256, true);
+        let hp = ablate_reclaimer::<HazardReclaimer>(2, A8Structure::Stack, 256, true);
+        assert_eq!(ebr.backend, "ebr");
+        assert_eq!(hp.backend, "hp");
+        assert_eq!(
+            ebr.stalled_reclaimed, 0,
+            "a forever-pinned task blocks every EBR advance"
+        );
+        assert!(
+            ebr.stalled_outstanding > 0,
+            "EBR limbo grows behind the stall"
+        );
+        assert!(
+            hp.stalled_reclaimed > 0,
+            "HP keeps reclaiming despite the stalled guard"
+        );
+        assert!(
+            hp.stalled_outstanding < ebr.stalled_outstanding,
+            "HP garbage stays bounded: {} vs EBR {}",
+            hp.stalled_outstanding,
+            ebr.stalled_outstanding
+        );
+        // Conservation holds for both (asserted inside the workload too).
+        assert_eq!(ebr.reclaim.objects_deferred, ebr.reclaim.objects_reclaimed);
+        assert!(hp.reclaim.hazard_protects > 0, "pops validated hazards");
+    }
+
+    #[test]
+    fn a8_every_structure_runs_on_both_backends() {
+        use pgas_nb::epoch::HazardReclaimer;
+        for s in A8Structure::ALL {
+            let e = ablate_reclaimer::<EpochManager>(1, s, 64, false);
+            let h = ablate_reclaimer::<HazardReclaimer>(1, s, 64, false);
+            assert!(e.reclaim.objects_deferred > 0, "{} ebr retires", s.label());
+            assert!(h.reclaim.objects_deferred > 0, "{} hp retires", s.label());
+        }
     }
 
     #[test]

@@ -406,16 +406,19 @@ mod tests {
     fn treiber_stack_on_hazard_pointers() {
         // The same Listing-1 stack, reclaimed with hazard pointers instead
         // of epochs — the cross-check that both schemes protect correctly.
+        // Every popped value is read *through the protected pointer* and
+        // summed, so a premature reclamation would corrupt the total.
         struct Node {
-            #[allow(dead_code)]
             value: u64,
             next: GlobalPtr<Node>,
         }
+        use std::sync::atomic::{AtomicU64, Ordering};
         let rt = zrt();
         rt.run(|| {
             let rt_h = pgas_sim::current_runtime();
             let dom = HazardDomain::new();
             let head: AtomicObject<Node> = AtomicObject::null();
+            let popped_sum = AtomicU64::new(0);
 
             rt.coforall_tasks(4, |t| {
                 let tok = dom.register();
@@ -443,6 +446,10 @@ mod tests {
                         }
                         let next = unsafe { top.deref() }.next;
                         if head.compare_and_swap(top, next) {
+                            // Read the payload while the hazard still
+                            // covers it, then hand it to the domain.
+                            let v = unsafe { top.deref() }.value;
+                            popped_sum.fetch_add(v, Ordering::Relaxed);
                             tok.release(0);
                             tok.retire(top);
                             break;
@@ -451,6 +458,29 @@ mod tests {
                 }
                 tok.release(0);
             });
+            // Drain whatever survived the concurrent phase.
+            {
+                let tok = dom.register();
+                loop {
+                    let top = tok.protect(0, &head);
+                    if top.is_null() {
+                        break;
+                    }
+                    let next = unsafe { top.deref() }.next;
+                    if head.compare_and_swap(top, next) {
+                        let v = unsafe { top.deref() }.value;
+                        popped_sum.fetch_add(v, Ordering::Relaxed);
+                        tok.release(0);
+                        tok.retire(top);
+                    }
+                }
+                tok.release(0);
+            }
+            // Conservation: Σ (t·1000 + i) over t∈0..4, i∈0..100.
+            let expected: u64 = (0..4u64)
+                .flat_map(|t| (0..100u64).map(move |i| t * 1000 + i))
+                .sum();
+            assert_eq!(popped_sum.load(Ordering::Relaxed), expected);
             dom.reclaim_all();
         });
         assert_eq!(rt.live_objects(), 0);

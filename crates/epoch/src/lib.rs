@@ -39,19 +39,23 @@
 #![warn(missing_docs)]
 
 pub mod hazard;
+pub mod hazard_dist;
 pub mod limbo;
 pub mod local_manager;
 pub mod manager;
 pub mod math;
 pub mod owned;
+pub mod reclaim;
 pub mod stats;
 pub mod token;
 
 pub use hazard::{HazardDomain, HazardToken};
+pub use hazard_dist::{HazardReclaimer, HpGuard, DIST_HP_SLOTS};
 pub use limbo::{LimboList, NodePool};
 pub use local_manager::{LocalEpochManager, LocalToken};
 pub use manager::{EpochManager, PinGuard, Token};
 pub use math::{limbo_index, next_epoch, reclaim_epoch, EPOCHS};
 pub use owned::OwnedAtomic;
+pub use reclaim::{ReclaimGuard, Reclaimer};
 pub use stats::{ReclaimSnapshot, ReclaimStats};
 pub use token::QUIESCENT;

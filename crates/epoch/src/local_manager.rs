@@ -6,9 +6,11 @@
 //! path. Use it for structures that never leave one locale.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use pgas_sim::engine;
-use pgas_sim::{ctx, Erased, GlobalPtr};
+use pgas_sim::faults::invariants::ReclaimObserver;
+use pgas_sim::{ctx, Erased, GlobalPtr, RuntimeHandle};
 
 use crate::limbo::{LimboList, NodePool};
 use crate::math::{limbo_index, next_epoch, reclaim_epoch, EPOCHS};
@@ -17,12 +19,14 @@ use crate::token::{TokenRegistry, TokenSlot, QUIESCENT};
 
 /// Epoch-based reclamation for a single locale.
 pub struct LocalEpochManager {
+    rt: RuntimeHandle,
     epoch: AtomicU64,
     is_setting_epoch: AtomicU64,
     limbo: [LimboList; EPOCHS as usize],
     pool: NodePool,
     tokens: TokenRegistry,
     stats: ReclaimStats,
+    observer: OnceLock<Arc<dyn ReclaimObserver>>,
     home: pgas_sim::LocaleId,
 }
 
@@ -43,14 +47,32 @@ impl LocalEpochManager {
     /// Create a manager homed on the current locale. Epochs start at 1.
     pub fn new() -> LocalEpochManager {
         LocalEpochManager {
+            rt: ctx::current_runtime(),
             epoch: AtomicU64::new(1),
             is_setting_epoch: AtomicU64::new(0),
             limbo: [LimboList::new(), LimboList::new(), LimboList::new()],
             pool: NodePool::new(),
             tokens: TokenRegistry::new(),
             stats: ReclaimStats::default(),
+            observer: OnceLock::new(),
             home: pgas_sim::here(),
         }
+    }
+
+    /// Install a [`ReclaimObserver`] that sees every defer, advance, and
+    /// reclaim. Used by the chaos harness's `InvariantChecker`.
+    ///
+    /// # Panics
+    /// If an observer is already installed.
+    pub fn set_observer(&self, obs: Arc<dyn ReclaimObserver>) {
+        if self.observer.set(obs).is_err() {
+            panic!("LocalEpochManager observer already installed");
+        }
+    }
+
+    /// The runtime this manager was created under.
+    pub fn runtime(&self) -> RuntimeHandle {
+        self.rt.clone()
     }
 
     /// Register the calling task, returning a token to pin.
@@ -86,7 +108,10 @@ impl LocalEpochManager {
             charge_local_atomic();
             self.epoch.store(new_epoch, Ordering::SeqCst);
             ReclaimStats::bump(&self.stats.advances);
-            let freed = self.drain_list(reclaim_epoch(new_epoch));
+            if let Some(obs) = self.observer.get() {
+                obs.on_advance(new_epoch);
+            }
+            let freed = self.drain_list(reclaim_epoch(new_epoch), new_epoch, false);
             ReclaimStats::add(&self.stats.objects_reclaimed, freed);
             true
         } else {
@@ -101,13 +126,15 @@ impl LocalEpochManager {
     /// Reclaim *everything* across all epochs, unconditionally. Only call
     /// when no other task is using the manager.
     pub fn clear(&self) {
+        let current = self.epoch.load(Ordering::SeqCst);
         for e in 1..=EPOCHS {
-            let freed = self.drain_list(e);
+            let freed = self.drain_list(e, current, true);
             ReclaimStats::add(&self.stats.objects_reclaimed, freed);
         }
     }
 
-    fn drain_list(&self, epoch: u64) -> u64 {
+    fn drain_list(&self, epoch: u64, current_epoch: u64, during_clear: bool) -> u64 {
+        let observer = self.observer.get();
         ctx::with_core(|core, _| {
             self.limbo[limbo_index(epoch)]
                 .take()
@@ -117,6 +144,9 @@ impl LocalEpochManager {
                         self.home,
                         "LocalEpochManager does not handle remote objects"
                     );
+                    if let Some(obs) = observer {
+                        obs.on_reclaim(e.addr(), epoch, current_epoch, during_clear);
+                    }
                     // SAFETY: EBR guarantees no task still holds a
                     // reference (two epoch advances since logical removal,
                     // or the caller guaranteed quiescence for clear()).
@@ -184,6 +214,9 @@ impl<'a> LocalToken<'a> {
         let e = self.slot.epoch_relaxed();
         debug_assert_ne!(e, QUIESCENT, "defer_delete requires a pinned token");
         ReclaimStats::bump(&self.mgr.stats.objects_deferred);
+        if let Some(obs) = self.mgr.observer.get() {
+            obs.on_defer(ptr.addr(), e);
+        }
         self.mgr.limbo[limbo_index(e)].push_node(self.mgr.pool.get(), Erased::new(ptr));
     }
 

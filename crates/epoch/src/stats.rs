@@ -20,6 +20,8 @@ pub struct ReclaimStats {
     pub objects_reclaimed: CachePadded<AtomicU64>,
     /// Objects deferred for deletion.
     pub objects_deferred: CachePadded<AtomicU64>,
+    /// Validated hazard-pointer protections (0 for epoch backends).
+    pub hazard_protects: CachePadded<AtomicU64>,
 }
 
 /// Snapshot of [`ReclaimStats`].
@@ -37,6 +39,8 @@ pub struct ReclaimSnapshot {
     pub objects_reclaimed: u64,
     /// Objects deferred for deletion.
     pub objects_deferred: u64,
+    /// Validated hazard-pointer protections (0 for epoch backends).
+    pub hazard_protects: u64,
 }
 
 impl ReclaimStats {
@@ -57,6 +61,7 @@ impl ReclaimStats {
             unsafe_scans: self.unsafe_scans.load(Ordering::Relaxed),
             objects_reclaimed: self.objects_reclaimed.load(Ordering::Relaxed),
             objects_deferred: self.objects_deferred.load(Ordering::Relaxed),
+            hazard_protects: self.hazard_protects.load(Ordering::Relaxed),
         }
     }
 }
@@ -66,13 +71,14 @@ impl std::fmt::Display for ReclaimSnapshot {
         write!(
             f,
             "advances={} lost_local={} lost_global={} unsafe_scans={} \
-             deferred={} reclaimed={}",
+             deferred={} reclaimed={} protects={}",
             self.advances,
             self.lost_local_election,
             self.lost_global_election,
             self.unsafe_scans,
             self.objects_deferred,
             self.objects_reclaimed,
+            self.hazard_protects,
         )
     }
 }

@@ -32,18 +32,34 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-/// Epoch-reclamation events, reported by an epoch manager to an installed
+/// Reclamation events, reported by a reclamation backend to an installed
 /// observer. Addresses identify the reclaimed allocation (its heap
-/// address); epochs are the manager's `{1, 2, 3}` values.
+/// address); epochs are the epoch managers' `{1, 2, 3}` values.
+/// Hazard-pointer backends report epoch `0` on every event (they have no
+/// epochs), which switches the checker from age rules to protection
+/// rules.
 pub trait ReclaimObserver: Send + Sync {
-    /// An object was pushed onto the limbo list of `epoch`.
+    /// An object was pushed onto the limbo list of `epoch` (or retired,
+    /// for hazard-pointer backends, with `epoch == 0`).
     fn on_defer(&self, addr: usize, epoch: u64);
     /// The global epoch advanced to `new_epoch`.
     fn on_advance(&self, new_epoch: u64);
     /// The limbo list of `list_epoch` is being reclaimed while the global
     /// epoch is `current_epoch`; `during_clear` marks quiescent teardown
-    /// (`clear()`), where age rules do not apply.
+    /// (`clear()`), where age rules do not apply. Hazard-pointer backends
+    /// pass `list_epoch == current_epoch == 0`.
     fn on_reclaim(&self, addr: usize, list_epoch: u64, current_epoch: u64, during_clear: bool);
+    /// A hazard pointer to `addr` was published *and validated* (the
+    /// protected object was provably not yet retired). Only
+    /// hazard-pointer backends emit this; the default is a no-op.
+    fn on_protect(&self, addr: usize) {
+        let _ = addr;
+    }
+    /// A previously-validated protection of `addr` was dropped (slot
+    /// released, overwritten, or guard dropped). Default is a no-op.
+    fn on_release(&self, addr: usize) {
+        let _ = addr;
+    }
 }
 
 /// Upper bound on retained violation messages; further violations are
@@ -54,6 +70,8 @@ const MAX_STORED_VIOLATIONS: usize = 64;
 struct CheckerState {
     /// Reclaimed (freed) addresses not since re-deferred: the UAF tag set.
     freed: HashMap<usize, u64>,
+    /// Validated hazard protections currently outstanding per address.
+    protected: HashMap<usize, u64>,
     /// Last observed sequence number per FIFO stream.
     fifo_last: HashMap<u64, u64>,
     /// Last observed ABA stamp per observer stream.
@@ -70,6 +88,7 @@ pub struct InvariantChecker {
     advances: AtomicU64,
     defers: AtomicU64,
     reclaims: AtomicU64,
+    protects: AtomicU64,
     total_violations: AtomicU64,
 }
 
@@ -153,6 +172,11 @@ impl InvariantChecker {
         self.reclaims.load(Ordering::Relaxed)
     }
 
+    /// Number of validated hazard protections observed.
+    pub fn protects(&self) -> u64 {
+        self.protects.load(Ordering::Relaxed)
+    }
+
     /// Total violations recorded (including any beyond the storage cap).
     pub fn violation_count(&self) -> u64 {
         self.total_violations.load(Ordering::Relaxed)
@@ -187,7 +211,20 @@ impl ReclaimObserver for InvariantChecker {
 
     fn on_reclaim(&self, addr: usize, list_epoch: u64, current_epoch: u64, during_clear: bool) {
         self.reclaims.fetch_add(1, Ordering::Relaxed);
-        if !during_clear && list_epoch != Self::expected_reclaim_epoch(current_epoch) {
+        if list_epoch == 0 {
+            // Hazard-pointer backend: no epochs to age-check. The safety
+            // rule is instead that a scan must never free an address with
+            // a validated protection outstanding (outside teardown).
+            if !during_clear {
+                let protected = self.state.lock().protected.get(&addr).copied().unwrap_or(0);
+                if protected > 0 {
+                    self.violate(format!(
+                        "hazard violation: block {addr:#x} freed while \
+                         {protected} validated protection(s) were published"
+                    ));
+                }
+            }
+        } else if !during_clear && list_epoch != Self::expected_reclaim_epoch(current_epoch) {
             self.violate(format!(
                 "early reclamation: freed limbo list of epoch {list_epoch} \
                  while the global epoch is {current_epoch} (only epoch {} \
@@ -202,6 +239,28 @@ impl ReclaimObserver for InvariantChecker {
                 "double free: block {addr:#x} reclaimed twice without an \
                  intervening defer"
             ));
+        }
+    }
+
+    fn on_protect(&self, addr: usize) {
+        self.protects.fetch_add(1, Ordering::Relaxed);
+        *self.state.lock().protected.entry(addr).or_insert(0) += 1;
+    }
+
+    fn on_release(&self, addr: usize) {
+        let mut st = self.state.lock();
+        match st.protected.get_mut(&addr) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                st.protected.remove(&addr);
+            }
+            None => {
+                drop(st);
+                self.violate(format!(
+                    "unbalanced release: block {addr:#x} released without a \
+                     validated protection"
+                ));
+            }
         }
     }
 }
@@ -293,6 +352,47 @@ mod tests {
         c.record_aba(7, 99); // regressed stamp
         let errs = c.check().unwrap_err();
         assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+
+    #[test]
+    fn hazard_free_of_protected_block_is_caught() {
+        let c = InvariantChecker::new();
+        c.on_defer(0x6000, 0); // HP retire (epoch sentinel 0)
+        c.on_protect(0x6000);
+        // A (buggy) scan frees the block while a validated protection is
+        // outstanding — the HP analogue of early reclamation.
+        c.on_reclaim(0x6000, 0, 0, false);
+        let errs = c.check().unwrap_err();
+        assert!(errs[0].contains("hazard violation"), "{errs:?}");
+        assert_eq!(c.protects(), 1);
+    }
+
+    #[test]
+    fn hazard_free_of_released_block_passes() {
+        let c = InvariantChecker::new();
+        c.on_protect(0x7000);
+        c.on_release(0x7000);
+        c.on_defer(0x7000, 0);
+        c.on_reclaim(0x7000, 0, 0, false);
+        assert!(c.check().is_ok());
+        // Clear-time frees are exempt even with a protection outstanding.
+        c.on_protect(0x7100);
+        c.on_defer(0x7100, 0);
+        c.on_reclaim(0x7100, 0, 0, true);
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn unbalanced_release_is_caught() {
+        let c = InvariantChecker::new();
+        c.on_protect(0x8000);
+        c.on_protect(0x8000);
+        c.on_release(0x8000);
+        c.on_release(0x8000);
+        assert!(c.check().is_ok(), "nested protections balance out");
+        c.on_release(0x8000);
+        let errs = c.check().unwrap_err();
+        assert!(errs[0].contains("unbalanced release"), "{errs:?}");
     }
 
     #[test]

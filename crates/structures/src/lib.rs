@@ -17,8 +17,12 @@
 //! * [`RcuArray`] — RCU-style distributed resizable array.
 //!
 //! All of them are usable from any locale; nodes carry the affinity of the
-//! task that allocated them, and reclamation flows through epoch-based
-//! scatter lists.
+//! task that allocated them. Every structure is generic over its
+//! reclamation backend (`R: Reclaimer`, defaulting to the epoch-based
+//! `EpochManager`); substituting `HazardReclaimer` swaps in distributed
+//! hazard pointers, whose per-pointer protection bounds garbage even
+//! when a reader stalls forever (at the cost of charged hazard
+//! publication on every traversal step).
 
 #![warn(missing_docs)]
 

@@ -7,12 +7,19 @@
 //! The mark lives in the low bit of the compressed global pointer — the
 //! same word the NIC can CAS — so the algorithm remains RDMA-friendly.
 //!
-//! Reclamation of unlinked nodes is deferred to the `EpochManager`: a node
-//! is handed to `defer_delete` by exactly the task whose CAS physically
-//! unlinked it.
+//! Reclamation of unlinked nodes is deferred to the structure's
+//! [`Reclaimer`] (epoch-based by default): a node is handed to
+//! `defer_delete` by exactly the task whose CAS physically unlinked it.
+//!
+//! Under hazard pointers, traversals protect `pred`/`curr` hand-over-hand
+//! in slots 0 and 1. A protection of `curr` is validated by re-reading
+//! `pred.next` and requiring the *unmarked* word `curr`: the mark on
+//! `pred.next` is exactly `pred`'s logical deletion, so an unmarked match
+//! proves `pred` was still in the list — and therefore so was `curr`,
+//! which cannot have been retired.
 
 use pgas_atomics::AtomicObject;
-use pgas_epoch::{EpochManager, Token};
+use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
 use pgas_sim::{alloc_local, ctx, GlobalPtr};
 
 /// One list cell. `next` carries the Harris mark bit. The key is
@@ -33,20 +40,34 @@ impl<K: Copy> Node<K> {
     }
 }
 
-/// A lock-free sorted set keyed by `K`.
-pub struct LockFreeList<K: Ord + Copy + Send> {
+/// A lock-free sorted set keyed by `K`, generic over its reclamation
+/// backend.
+pub struct LockFreeList<K: Ord + Copy + Send, R: Reclaimer = EpochManager> {
     /// Sentinel node; never removed, its key is never examined.
     head: GlobalPtr<Node<K>>,
-    em: EpochManager,
+    em: R,
 }
 
-// SAFETY: shared state is atomics + the manager; keys are Copy + Send.
-unsafe impl<K: Ord + Copy + Send> Send for LockFreeList<K> {}
-unsafe impl<K: Ord + Copy + Send> Sync for LockFreeList<K> {}
+// SAFETY: shared state is atomics + the reclaimer; keys are Copy + Send.
+unsafe impl<K: Ord + Copy + Send, R: Reclaimer> Send for LockFreeList<K, R> {}
+unsafe impl<K: Ord + Copy + Send, R: Reclaimer> Sync for LockFreeList<K, R> {}
 
 impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
-    /// Create an empty set homed on the current locale.
+    /// Create an empty set homed on the current locale, with the default
+    /// epoch-based backend.
     pub fn new() -> LockFreeList<K> {
+        Self::with_reclaimer()
+    }
+
+    /// The list's epoch manager.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
+    /// Create an empty set using reclamation backend `R`.
+    pub fn with_reclaimer() -> LockFreeList<K, R> {
         let rt = ctx::current_runtime();
         let head = alloc_local(
             &rt,
@@ -57,30 +78,38 @@ impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
         );
         LockFreeList {
             head,
-            em: EpochManager::new(),
+            em: R::new_in_runtime(),
         }
     }
 
     /// Register the calling task.
-    pub fn register(&self) -> Token<'_> {
+    pub fn register(&self) -> R::Guard<'_> {
         self.em.register()
     }
 
     /// Find `(pred, curr)` such that `curr` is the first unmarked node with
     /// `key >= target` and `pred` is its unmarked predecessor, snipping
-    /// marked nodes along the way. Caller must be pinned.
-    fn search(&self, tok: &Token<'_>, target: &K) -> (GlobalPtr<Node<K>>, GlobalPtr<Node<K>>) {
+    /// marked nodes along the way. Caller must be pinned. On return the
+    /// two nodes are protected (under HP) in slots 0 and 1, in some order.
+    fn search(&self, tok: &R::Guard<'_>, target: &K) -> (GlobalPtr<Node<K>>, GlobalPtr<Node<K>>) {
         'retry: loop {
             let pred = self.head;
-            // SAFETY: pinned; sentinel is never reclaimed.
+            // SAFETY: the sentinel is never reclaimed.
             let mut pred_ref = unsafe { pred.deref() };
             let mut pred_ptr = pred;
+            let mut pred_slot = 1usize;
+            let mut curr_slot = 0usize;
             let mut curr = pred_ref.next.read().without_mark();
+            // HP: validated because the sentinel is always in the list.
+            if !curr.is_null() && !tok.protect_ptr(curr_slot, curr, || pred_ref.next.read() == curr)
+            {
+                continue 'retry;
+            }
             loop {
                 if curr.is_null() {
                     return (pred_ptr, curr);
                 }
-                // SAFETY: pinned — curr cannot be reclaimed while we look.
+                // SAFETY: protected — pinned (EBR) or hazard-validated (HP).
                 let curr_ref = unsafe { curr.deref() };
                 let succ = curr_ref.next.read();
                 if succ.is_marked() {
@@ -91,6 +120,11 @@ impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
                     // Our CAS did the unlink: we retire the node.
                     tok.defer_delete(curr);
                     curr = succ.without_mark();
+                    if !curr.is_null()
+                        && !tok.protect_ptr(curr_slot, curr, || pred_ref.next.read() == curr)
+                    {
+                        continue 'retry;
+                    }
                 } else {
                     // SAFETY: curr is never the sentinel.
                     if unsafe { curr_ref.key() } >= *target {
@@ -98,14 +132,18 @@ impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
                     }
                     pred_ptr = curr;
                     pred_ref = curr_ref;
+                    std::mem::swap(&mut pred_slot, &mut curr_slot);
                     curr = succ;
+                    if !tok.protect_ptr(curr_slot, curr, || pred_ref.next.read() == succ) {
+                        continue 'retry;
+                    }
                 }
             }
         }
     }
 
     /// Insert `key`; returns `false` if already present.
-    pub fn insert(&self, tok: &Token<'_>, key: K) -> bool {
+    pub fn insert(&self, tok: &R::Guard<'_>, key: K) -> bool {
         tok.pin();
         let result = loop {
             let (pred, curr) = self.search(tok, &key);
@@ -119,20 +157,22 @@ impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
                     next: AtomicObject::new(curr),
                 },
             );
-            // SAFETY: pinned; pred is the sentinel or an unmarked node we
-            // just traversed.
+            // SAFETY: protected; pred is the sentinel or an unmarked node
+            // search just traversed.
             if unsafe { pred.deref() }.next.compare_and_swap(curr, node) {
                 break true;
             }
             // Lost the race; the node was never published — free eagerly.
             unsafe { pgas_sim::free(&ctx::current_runtime(), node) };
         };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         result
     }
 
     /// Remove `key`; returns `false` if absent.
-    pub fn remove(&self, tok: &Token<'_>, key: K) -> bool {
+    pub fn remove(&self, tok: &R::Guard<'_>, key: K) -> bool {
         tok.pin();
         let result = loop {
             let (pred, curr) = self.search(tok, &key);
@@ -148,57 +188,130 @@ impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
             if !curr_ref.next.compare_and_swap(succ, succ.with_mark()) {
                 continue;
             }
-            // Physical removal: unlink. On failure a later search snips it
-            // (and defers it there) — exactly-once retirement either way.
+            // Physical removal: unlink. On failure, run Harris's
+            // completion step — a fresh search snips the marked node (and
+            // defers it there) before we return, so exactly-once
+            // retirement holds and no marked link outlives the remover.
+            // Read-only walks under HP cannot step across a marked link
+            // and would spin forever on one left reachable at quiescence.
             if unsafe { pred.deref() }
                 .next
                 .compare_and_swap(curr, succ.without_mark())
             {
                 tok.defer_delete(curr);
+            } else {
+                let _ = self.search(tok, &key);
             }
             break true;
         };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         result
     }
 
     /// Membership test. Does not modify the list (no snipping), so it is
     /// read-only with respect to communication.
-    pub fn contains(&self, tok: &Token<'_>, key: K) -> bool {
+    pub fn contains(&self, tok: &R::Guard<'_>, key: K) -> bool {
         tok.pin();
-        // SAFETY: pinned.
-        let mut curr = unsafe { self.head.deref() }.next.read().without_mark();
-        let mut found = false;
-        while !curr.is_null() {
-            let curr_ref = unsafe { curr.deref() };
-            // SAFETY: curr is never the sentinel.
-            let k = unsafe { curr_ref.key() };
-            if k > key {
-                break;
+        let found = 'retry: loop {
+            // SAFETY: sentinel, never reclaimed.
+            let mut prev_ref = unsafe { self.head.deref() };
+            let mut prev_slot = 1usize;
+            let mut curr_slot = 0usize;
+            let mut curr = prev_ref.next.read().without_mark();
+            if !curr.is_null() && !tok.protect_ptr(curr_slot, curr, || prev_ref.next.read() == curr)
+            {
+                continue 'retry;
             }
-            let succ = curr_ref.next.read();
-            if k == key {
-                found = !succ.is_marked();
-                break;
+            let mut found = false;
+            while !curr.is_null() {
+                // SAFETY: protected.
+                let curr_ref = unsafe { curr.deref() };
+                // SAFETY: curr is never the sentinel.
+                let k = unsafe { curr_ref.key() };
+                if k > key {
+                    break;
+                }
+                let succ = curr_ref.next.read();
+                if k == key {
+                    found = !succ.is_marked();
+                    break;
+                }
+                // HP cannot safely step across a marked link (the marked
+                // node's successor may already be retired): restart. EBR
+                // walks straight through, as before.
+                if R::NEEDS_PROTECT && succ.is_marked() {
+                    continue 'retry;
+                }
+                prev_ref = curr_ref;
+                std::mem::swap(&mut prev_slot, &mut curr_slot);
+                curr = succ.without_mark();
+                if !curr.is_null()
+                    && !tok.protect_ptr(curr_slot, curr, || prev_ref.next.read() == succ)
+                {
+                    continue 'retry;
+                }
             }
-            curr = succ.without_mark();
-        }
+            break found;
+        };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         found
     }
 
     /// Number of unmarked nodes (racy; exact in quiescence).
     pub fn len(&self) -> usize {
-        let mut n = 0;
-        let mut curr = unsafe { self.head.deref() }.next.read().without_mark();
-        while !curr.is_null() {
-            let succ = unsafe { curr.deref() }.next.read();
-            if !succ.is_marked() {
-                n += 1;
+        if R::NEEDS_PROTECT {
+            let g = self.em.register();
+            g.pin();
+            let n = 'retry: loop {
+                let mut prev_ref = unsafe { self.head.deref() };
+                let mut prev_slot = 1usize;
+                let mut curr_slot = 0usize;
+                let mut curr = prev_ref.next.read().without_mark();
+                if !curr.is_null()
+                    && !g.protect_ptr(curr_slot, curr, || prev_ref.next.read() == curr)
+                {
+                    continue 'retry;
+                }
+                let mut n = 0;
+                while !curr.is_null() {
+                    let curr_ref = unsafe { curr.deref() };
+                    let succ = curr_ref.next.read();
+                    if succ.is_marked() {
+                        // Can't step across a marked link under HP.
+                        continue 'retry;
+                    }
+                    n += 1;
+                    prev_ref = curr_ref;
+                    std::mem::swap(&mut prev_slot, &mut curr_slot);
+                    curr = succ;
+                    if !curr.is_null()
+                        && !g.protect_ptr(curr_slot, curr, || prev_ref.next.read() == succ)
+                    {
+                        continue 'retry;
+                    }
+                }
+                break n;
+            };
+            g.release(0);
+            g.release(1);
+            g.unpin();
+            n
+        } else {
+            let mut n = 0;
+            let mut curr = unsafe { self.head.deref() }.next.read().without_mark();
+            while !curr.is_null() {
+                let succ = unsafe { curr.deref() }.next.read();
+                if !succ.is_marked() {
+                    n += 1;
+                }
+                curr = succ.without_mark();
             }
-            curr = succ.without_mark();
+            n
         }
-        n
     }
 
     /// True when no unmarked nodes remain (racy; exact in quiescence).
@@ -206,7 +319,7 @@ impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
         self.len() == 0
     }
 
-    /// Attempt an epoch advance + reclamation.
+    /// Attempt an epoch advance / hazard scan + reclamation.
     pub fn try_reclaim(&self) -> bool {
         self.em.try_reclaim()
     }
@@ -216,19 +329,19 @@ impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
         self.em.clear()
     }
 
-    /// The list's epoch manager.
-    pub fn epoch_manager(&self) -> &EpochManager {
+    /// The list's reclamation backend.
+    pub fn reclaimer(&self) -> &R {
         &self.em
     }
 }
 
-impl<K: Ord + Copy + Send + 'static> Default for LockFreeList<K> {
+impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Default for LockFreeList<K, R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_reclaimer()
     }
 }
 
-impl<K: Ord + Copy + Send> Drop for LockFreeList<K> {
+impl<K: Ord + Copy + Send, R: Reclaimer> Drop for LockFreeList<K, R> {
     fn drop(&mut self) {
         let teardown = || {
             let rt = ctx::current_runtime();
@@ -252,6 +365,7 @@ impl<K: Ord + Copy + Send> Drop for LockFreeList<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pgas_epoch::HazardReclaimer;
     use pgas_sim::{Runtime, RuntimeConfig};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -399,6 +513,58 @@ mod tests {
             let tok = l.register();
             assert!(l.contains(&tok, 301));
             assert!(!l.contains(&tok, 326));
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn hazard_pointer_backend_churn_matches_model() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let rt = zrt(1);
+        rt.run(|| {
+            let l = LockFreeList::<u8, HazardReclaimer>::with_reclaimer();
+            let tok = l.register();
+            let mut model = std::collections::BTreeSet::new();
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..2000 {
+                let k: u8 = rng.gen_range(0..64);
+                match rng.gen_range(0..3) {
+                    0 => assert_eq!(l.insert(&tok, k), model.insert(k)),
+                    1 => assert_eq!(l.remove(&tok, k), model.remove(&k)),
+                    _ => assert_eq!(l.contains(&tok, k), model.contains(&k)),
+                }
+            }
+            assert_eq!(l.len(), model.len());
+            drop(tok);
+            l.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn hazard_pointer_backend_concurrent_removes() {
+        let rt = zrt(1);
+        rt.run(|| {
+            let l = LockFreeList::<u64, HazardReclaimer>::with_reclaimer();
+            {
+                let tok = l.register();
+                for k in 0..40u64 {
+                    l.insert(&tok, k);
+                }
+            }
+            let removed = AtomicUsize::new(0);
+            rt.coforall_tasks(4, |_| {
+                let tok = l.register();
+                for k in 0..40u64 {
+                    if l.remove(&tok, k) {
+                        removed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            assert_eq!(removed.load(Ordering::Relaxed), 40);
+            assert!(l.is_empty());
+            l.clear_reclaim();
         });
         assert_eq!(rt.live_objects(), 0);
     }

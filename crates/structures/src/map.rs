@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pgas_atomics::AtomicObject;
-use pgas_epoch::{EpochManager, Token};
+use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
 use pgas_sim::engine::DEFAULT_BUFFER_CAP;
 use pgas_sim::{alloc_local, alloc_on, ctx, Batcher, GlobalPtr, LocaleId};
 
@@ -54,21 +54,29 @@ impl<K, V> Node<K, V> {
 /// A `(predecessor, current)` node pair returned by a bucket search.
 type NodePair<K, V> = (GlobalPtr<Node<K, V>>, GlobalPtr<Node<K, V>>);
 
-/// A lock-free hash map with buckets distributed across locales.
-pub struct DistHashMap<K, V>
+/// A lock-free hash map with buckets distributed across locales, generic
+/// over its reclamation backend.
+pub struct DistHashMap<K, V, R = EpochManager>
 where
     K: Hash + Ord + Send + 'static,
     V: Clone + Send + 'static,
+    R: Reclaimer,
 {
     /// Sentinel node of each bucket chain; bucket `b` lives on locale
     /// `b % num_locales`.
     buckets: Box<[GlobalPtr<Node<K, V>>]>,
     mask: u64,
-    em: EpochManager,
+    em: R,
 }
 
-unsafe impl<K: Hash + Ord + Send + 'static, V: Clone + Send + 'static> Send for DistHashMap<K, V> {}
-unsafe impl<K: Hash + Ord + Send + 'static, V: Clone + Send + 'static> Sync for DistHashMap<K, V> {}
+unsafe impl<K: Hash + Ord + Send + 'static, V: Clone + Send + 'static, R: Reclaimer> Send
+    for DistHashMap<K, V, R>
+{
+}
+unsafe impl<K: Hash + Ord + Send + 'static, V: Clone + Send + 'static, R: Reclaimer> Sync
+    for DistHashMap<K, V, R>
+{
+}
 
 fn hash_key<K: Hash>(key: &K) -> u64 {
     // FxHash-style multiply-xor — cheap and good enough for tests and
@@ -84,8 +92,27 @@ where
     V: Clone + Send + 'static,
 {
     /// Create a map with `num_buckets` (rounded up to a power of two)
-    /// distributed over all locales of the current runtime.
+    /// distributed over all locales of the current runtime, with the
+    /// default epoch-based backend.
     pub fn new(num_buckets: usize) -> DistHashMap<K, V> {
+        Self::with_reclaimer(num_buckets)
+    }
+
+    /// The map's epoch manager.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<K, V, R> DistHashMap<K, V, R>
+where
+    K: Hash + Ord + Send + 'static,
+    V: Clone + Send + 'static,
+    R: Reclaimer,
+{
+    /// Create a map with `num_buckets` buckets using reclamation
+    /// backend `R`.
+    pub fn with_reclaimer(num_buckets: usize) -> DistHashMap<K, V, R> {
         let rt = ctx::current_runtime();
         let n = num_buckets.next_power_of_two().max(1);
         let locales = rt.num_locales();
@@ -107,12 +134,12 @@ where
         DistHashMap {
             buckets,
             mask: (n - 1) as u64,
-            em: EpochManager::new(),
+            em: R::new_in_runtime(),
         }
     }
 
     /// Register the calling task.
-    pub fn register(&self) -> Token<'_> {
+    pub fn register(&self) -> R::Guard<'_> {
         self.em.register()
     }
 
@@ -131,23 +158,32 @@ where
     }
 
     /// Harris search within one bucket chain. Caller must be pinned.
+    /// Under HP, `pred`/`curr` are protected hand-over-hand in slots 0/1
+    /// (validated as in [`crate::list`]: an unmarked `pred.next == curr`
+    /// proves both are still in the chain).
     fn search(
         &self,
-        tok: &Token<'_>,
+        tok: &R::Guard<'_>,
         sentinel: GlobalPtr<Node<K, V>>,
         hash: u64,
         key: &K,
     ) -> NodePair<K, V> {
         'retry: loop {
             let mut pred = sentinel;
-            // SAFETY: pinned; sentinels are never reclaimed.
+            // SAFETY: sentinels are never reclaimed while the map lives.
             let mut pred_ref = unsafe { pred.deref() };
+            let mut pred_slot = 1usize;
+            let mut curr_slot = 0usize;
             let mut curr = pred_ref.next.read().without_mark();
+            if !curr.is_null() && !tok.protect_ptr(curr_slot, curr, || pred_ref.next.read() == curr)
+            {
+                continue 'retry;
+            }
             loop {
                 if curr.is_null() {
                     return (pred, curr);
                 }
-                // SAFETY: pinned.
+                // SAFETY: protected — pinned (EBR) or hazard-validated (HP).
                 let curr_ref = unsafe { curr.deref() };
                 let succ = curr_ref.next.read();
                 if succ.is_marked() {
@@ -156,6 +192,11 @@ where
                     }
                     tok.defer_delete(curr);
                     curr = succ.without_mark();
+                    if !curr.is_null()
+                        && !tok.protect_ptr(curr_slot, curr, || pred_ref.next.read() == curr)
+                    {
+                        continue 'retry;
+                    }
                 } else {
                     // SAFETY: curr is not a sentinel.
                     let ord = Self::precedes(hash, key, curr_ref.hash, unsafe { curr_ref.key() });
@@ -164,7 +205,11 @@ where
                     }
                     pred = curr;
                     pred_ref = curr_ref;
+                    std::mem::swap(&mut pred_slot, &mut curr_slot);
                     curr = succ;
+                    if !tok.protect_ptr(curr_slot, curr, || pred_ref.next.read() == succ) {
+                        continue 'retry;
+                    }
                 }
             }
         }
@@ -181,7 +226,7 @@ where
 
     /// Insert `(key, value)`. Returns `false` (and drops both) when the
     /// key is already present.
-    pub fn insert(&self, tok: &Token<'_>, key: K, value: V) -> bool {
+    pub fn insert(&self, tok: &R::Guard<'_>, key: K, value: V) -> bool {
         let hash = hash_key(&key);
         let sentinel = self.bucket_for(hash);
         tok.pin();
@@ -231,44 +276,72 @@ where
                     n
                 }
             };
-            // SAFETY: pinned.
+            // SAFETY: protected (pred held by search's slots under HP).
             if unsafe { pred.deref() }.next.compare_and_swap(curr, n) {
                 break true;
             }
         };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         result
     }
 
     /// Look up `key`, cloning the value out under the pin.
-    pub fn get(&self, tok: &Token<'_>, key: &K) -> Option<V> {
+    pub fn get(&self, tok: &R::Guard<'_>, key: &K) -> Option<V> {
         let hash = hash_key(key);
         let sentinel = self.bucket_for(hash);
         tok.pin();
         // Read-only walk (no snipping), like `contains` in the list.
-        let mut curr = unsafe { sentinel.deref() }.next.read().without_mark();
-        let mut result = None;
-        while !curr.is_null() {
-            // SAFETY: pinned.
-            let node = unsafe { curr.deref() };
-            let succ = node.next.read();
-            match Self::precedes(hash, key, node.hash, unsafe { node.key() }) {
-                std::cmp::Ordering::Less => break,
-                std::cmp::Ordering::Equal => {
-                    if !succ.is_marked() {
-                        result = Some(unsafe { node.value() }.clone());
-                    }
-                    break;
-                }
-                std::cmp::Ordering::Greater => curr = succ.without_mark(),
+        let result = 'retry: loop {
+            // SAFETY: sentinels are never reclaimed while the map lives.
+            let mut prev_ref = unsafe { sentinel.deref() };
+            let mut prev_slot = 1usize;
+            let mut curr_slot = 0usize;
+            let mut curr = prev_ref.next.read().without_mark();
+            if !curr.is_null() && !tok.protect_ptr(curr_slot, curr, || prev_ref.next.read() == curr)
+            {
+                continue 'retry;
             }
-        }
+            let mut result = None;
+            while !curr.is_null() {
+                // SAFETY: protected.
+                let node = unsafe { curr.deref() };
+                let succ = node.next.read();
+                match Self::precedes(hash, key, node.hash, unsafe { node.key() }) {
+                    std::cmp::Ordering::Less => break,
+                    std::cmp::Ordering::Equal => {
+                        if !succ.is_marked() {
+                            result = Some(unsafe { node.value() }.clone());
+                        }
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        // HP cannot step across a marked link safely.
+                        if R::NEEDS_PROTECT && succ.is_marked() {
+                            continue 'retry;
+                        }
+                        prev_ref = node;
+                        std::mem::swap(&mut prev_slot, &mut curr_slot);
+                        curr = succ.without_mark();
+                        if !curr.is_null()
+                            && !tok.protect_ptr(curr_slot, curr, || prev_ref.next.read() == succ)
+                        {
+                            continue 'retry;
+                        }
+                    }
+                }
+            }
+            break result;
+        };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         result
     }
 
     /// True when `key` is present.
-    pub fn contains_key(&self, tok: &Token<'_>, key: &K) -> bool {
+    pub fn contains_key(&self, tok: &R::Guard<'_>, key: &K) -> bool {
         self.get(tok, key).is_some()
     }
 
@@ -337,7 +410,7 @@ where
     }
 
     /// Remove `key`; returns `true` when it was present.
-    pub fn remove(&self, tok: &Token<'_>, key: &K) -> bool {
+    pub fn remove(&self, tok: &R::Guard<'_>, key: &K) -> bool {
         let hash = hash_key(key);
         let sentinel = self.bucket_for(hash);
         tok.pin();
@@ -346,7 +419,7 @@ where
             if !Self::matches(curr, hash, key) {
                 break false;
             }
-            // SAFETY: pinned.
+            // SAFETY: protected by search's slots.
             let curr_ref = unsafe { curr.deref() };
             let succ = curr_ref.next.read();
             if succ.is_marked() {
@@ -360,27 +433,78 @@ where
                 .compare_and_swap(curr, succ.without_mark())
             {
                 tok.defer_delete(curr);
+            } else {
+                // Harris's completion step: re-search so the marked node
+                // is physically unlinked (and retired by the snip there)
+                // before we return. Read-only walks under HP cannot step
+                // across a marked link, so leaving one reachable at
+                // quiescence would spin them forever.
+                let _ = self.search(tok, sentinel, hash, key);
             }
             break true;
         };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         result
     }
 
     /// Entry count (racy; exact in quiescence).
     pub fn len(&self) -> usize {
-        let mut n = 0;
-        for &sentinel in self.buckets.iter() {
-            let mut curr = unsafe { sentinel.deref() }.next.read().without_mark();
-            while !curr.is_null() {
-                let succ = unsafe { curr.deref() }.next.read();
-                if !succ.is_marked() {
-                    n += 1;
-                }
-                curr = succ.without_mark();
+        if R::NEEDS_PROTECT {
+            let g = self.em.register();
+            g.pin();
+            let mut n = 0;
+            for &sentinel in self.buckets.iter() {
+                n += 'retry: loop {
+                    let mut prev_ref = unsafe { sentinel.deref() };
+                    let mut prev_slot = 1usize;
+                    let mut curr_slot = 0usize;
+                    let mut curr = prev_ref.next.read().without_mark();
+                    if !curr.is_null()
+                        && !g.protect_ptr(curr_slot, curr, || prev_ref.next.read() == curr)
+                    {
+                        continue 'retry;
+                    }
+                    let mut n = 0usize;
+                    while !curr.is_null() {
+                        let curr_ref = unsafe { curr.deref() };
+                        let succ = curr_ref.next.read();
+                        if succ.is_marked() {
+                            // Can't step across a marked link under HP.
+                            continue 'retry;
+                        }
+                        n += 1;
+                        prev_ref = curr_ref;
+                        std::mem::swap(&mut prev_slot, &mut curr_slot);
+                        curr = succ;
+                        if !curr.is_null()
+                            && !g.protect_ptr(curr_slot, curr, || prev_ref.next.read() == succ)
+                        {
+                            continue 'retry;
+                        }
+                    }
+                    break n;
+                };
             }
+            g.release(0);
+            g.release(1);
+            g.unpin();
+            n
+        } else {
+            let mut n = 0;
+            for &sentinel in self.buckets.iter() {
+                let mut curr = unsafe { sentinel.deref() }.next.read().without_mark();
+                while !curr.is_null() {
+                    let succ = unsafe { curr.deref() }.next.read();
+                    if !succ.is_marked() {
+                        n += 1;
+                    }
+                    curr = succ.without_mark();
+                }
+            }
+            n
         }
-        n
     }
 
     /// True when no entries are present (racy; exact in quiescence).
@@ -388,7 +512,7 @@ where
         self.len() == 0
     }
 
-    /// Attempt an epoch advance + reclamation.
+    /// Attempt an epoch advance / hazard scan + reclamation.
     pub fn try_reclaim(&self) -> bool {
         self.em.try_reclaim()
     }
@@ -398,16 +522,17 @@ where
         self.em.clear()
     }
 
-    /// The map's epoch manager.
-    pub fn epoch_manager(&self) -> &EpochManager {
+    /// The map's reclamation backend.
+    pub fn reclaimer(&self) -> &R {
         &self.em
     }
 }
 
-impl<K, V> Drop for DistHashMap<K, V>
+impl<K, V, R> Drop for DistHashMap<K, V, R>
 where
     K: Hash + Ord + Send + 'static,
     V: Clone + Send + 'static,
+    R: Reclaimer,
 {
     fn drop(&mut self) {
         let teardown = || {
@@ -625,6 +750,70 @@ mod tests {
                 "remote items ride batches, local ones apply inline: {}",
                 d.am_batch_items
             );
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn hazard_pointer_backend_model_check() {
+        use pgas_epoch::HazardReclaimer;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let rt = zrt(2);
+        rt.run(|| {
+            let m: DistHashMap<u8, u64, HazardReclaimer> = DistHashMap::with_reclaimer(8);
+            let tok = m.register();
+            let mut model = std::collections::HashMap::new();
+            let mut rng = StdRng::seed_from_u64(23);
+            for step in 0..1500u64 {
+                let k: u8 = rng.gen_range(0..48);
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let expect = !model.contains_key(&k);
+                        assert_eq!(m.insert(&tok, k, step), expect);
+                        if expect {
+                            model.insert(k, step);
+                        }
+                    }
+                    1 => assert_eq!(m.remove(&tok, &k), model.remove(&k).is_some()),
+                    _ => assert_eq!(m.get(&tok, &k), model.get(&k).copied()),
+                }
+            }
+            assert_eq!(m.len(), model.len());
+            drop(tok);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    /// Regression: a `remove` whose physical-unlink CAS lost a race used
+    /// to return with the marked node still reachable, counting on "a
+    /// later search" to snip it. At quiescence there is no later search,
+    /// and hazard-pointer read-only walks (`len`) cannot step across a
+    /// marked link — they spun forever. `remove` now runs Harris's
+    /// completion step (a re-search) before returning.
+    #[test]
+    fn hazard_pointer_walks_terminate_after_contended_removes() {
+        use pgas_epoch::HazardReclaimer;
+        let rt = Runtime::new(RuntimeConfig::cluster(2).without_network_atomics());
+        rt.run(|| {
+            let m: DistHashMap<u64, u64, HazardReclaimer> = DistHashMap::with_reclaimer(4);
+            rt.coforall_locales(|lid| {
+                rt.coforall_tasks(2, |t| {
+                    let task = lid as u64 * 2 + t as u64;
+                    let tok = m.register();
+                    for i in 0..200u64 {
+                        // Few buckets + interleaved keys: snip CASes race.
+                        let k = (i % 16) << 8 | task;
+                        m.insert(&tok, k, i);
+                        assert!(m.remove(&tok, &k), "own key present");
+                    }
+                });
+            });
+            // The walk must terminate (and see the empty map) with no
+            // helpers left running.
+            assert_eq!(m.len(), 0);
             m.clear_reclaim();
         });
         assert_eq!(rt.live_objects(), 0);

@@ -1,17 +1,24 @@
 //! A distributed lock-free FIFO queue (Michael–Scott), built from the
 //! paper's building blocks: `AtomicObject` cells for the links,
-//! ABA-protected head/tail, and the `EpochManager` for node reclamation.
+//! ABA-protected head/tail, and a pluggable [`Reclaimer`] for node
+//! reclamation (epoch-based by default).
 //!
 //! Queues are one of the "most primitive of non-blocking data structures"
 //! the paper's introduction names as blocked on object atomics; this is
 //! the canonical algorithm, made distributed: nodes carry the affinity of
 //! the enqueuing task's locale, and head/tail live with the queue's
 //! creator.
+//!
+//! Under hazard pointers the operations follow Michael's protocol: the
+//! head/tail snapshot is protected in slot 0 (publish, then re-read the
+//! cell), and `dequeue` additionally protects the successor in slot 1 —
+//! validated by the head not having moved, since FIFO order means the
+//! successor cannot be retired before the head is.
 
 use std::mem::ManuallyDrop;
 
 use pgas_atomics::{AtomicAbaObject, AtomicObject};
-use pgas_epoch::{EpochManager, Token};
+use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
 use pgas_sim::{alloc_local, ctx, GlobalPtr};
 
 /// One queue cell. The node at `head` is always a dummy whose value has
@@ -21,22 +28,35 @@ pub struct Node<T> {
     next: AtomicObject<Node<T>>,
 }
 
-/// A lock-free multi-producer multi-consumer FIFO queue with epoch-based
-/// reclamation.
-pub struct MsQueue<T: Send> {
+/// A lock-free multi-producer multi-consumer FIFO queue, generic over
+/// its reclamation backend.
+pub struct MsQueue<T: Send, R: Reclaimer = EpochManager> {
     head: AtomicAbaObject<Node<T>>,
     tail: AtomicAbaObject<Node<T>>,
-    em: EpochManager,
+    em: R,
 }
 
-// SAFETY: head/tail are atomic words; the manager is thread-safe; values
-// are Send by bound.
-unsafe impl<T: Send> Send for MsQueue<T> {}
-unsafe impl<T: Send> Sync for MsQueue<T> {}
+// SAFETY: head/tail are atomic words; the reclaimer is Send+Sync by its
+// trait bounds; values are Send by bound.
+unsafe impl<T: Send, R: Reclaimer> Send for MsQueue<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for MsQueue<T, R> {}
 
 impl<T: Send> MsQueue<T> {
-    /// Create an empty queue (one dummy node) homed on the current locale.
+    /// Create an empty queue (one dummy node) homed on the current
+    /// locale, with the default epoch-based backend.
     pub fn new() -> MsQueue<T> {
+        Self::with_reclaimer()
+    }
+
+    /// The queue's epoch manager.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<T: Send, R: Reclaimer> MsQueue<T, R> {
+    /// Create an empty queue using reclamation backend `R`.
+    pub fn with_reclaimer() -> MsQueue<T, R> {
         let dummy = alloc_local(
             &ctx::current_runtime(),
             Node {
@@ -47,17 +67,17 @@ impl<T: Send> MsQueue<T> {
         MsQueue {
             head: AtomicAbaObject::new(dummy),
             tail: AtomicAbaObject::new(dummy),
-            em: EpochManager::new(),
+            em: R::new_in_runtime(),
         }
     }
 
     /// Register the calling task.
-    pub fn register(&self) -> Token<'_> {
+    pub fn register(&self) -> R::Guard<'_> {
         self.em.register()
     }
 
     /// Append `value` at the tail.
-    pub fn enqueue(&self, tok: &Token<'_>, value: T) {
+    pub fn enqueue(&self, tok: &R::Guard<'_>, value: T) {
         tok.pin();
         let node = alloc_local(
             &ctx::current_runtime(),
@@ -67,9 +87,10 @@ impl<T: Send> MsQueue<T> {
             },
         );
         loop {
-            let tail_snap = self.tail.read_aba();
+            // HP: publish+validate the tail node before dereferencing it.
+            let tail_snap = tok.protect_root_aba(0, &self.tail);
             let tail = tail_snap.get_object();
-            // SAFETY: pinned.
+            // SAFETY: protected (pin or validated hazard).
             let next = unsafe { tail.deref() }.next.read();
             if next.is_null() {
                 if unsafe { tail.deref() }
@@ -85,17 +106,18 @@ impl<T: Send> MsQueue<T> {
                 let _ = self.tail.compare_and_swap_aba(tail_snap, next);
             }
         }
+        tok.release(0);
         tok.unpin();
     }
 
     /// Remove and return the oldest value, or `None` when empty.
-    pub fn dequeue(&self, tok: &Token<'_>) -> Option<T> {
+    pub fn dequeue(&self, tok: &R::Guard<'_>) -> Option<T> {
         tok.pin();
         let result = loop {
-            let head_snap = self.head.read_aba();
+            let head_snap = tok.protect_root_aba(0, &self.head);
             let head = head_snap.get_object();
             let tail = self.tail.read();
-            // SAFETY: pinned.
+            // SAFETY: protected (pin or validated hazard).
             let next = unsafe { head.deref() }.next.read();
             if head == tail {
                 if next.is_null() {
@@ -106,31 +128,56 @@ impl<T: Send> MsQueue<T> {
                 if tail_snap.get_object() == tail {
                     let _ = self.tail.compare_and_swap_aba(tail_snap, next);
                 }
-            } else if self.head.compare_and_swap_aba(head_snap, next) {
-                // We own the logical removal: `next` becomes the new dummy
-                // and we are the unique consumer of its value. Reading it
-                // after the CAS is safe under the pin (the node stays in
-                // the queue as dummy; no other task touches `value`).
-                let value = unsafe {
-                    std::ptr::read(&(*next.as_ptr()).value)
-                        .map(ManuallyDrop::into_inner)
-                        .expect("non-sentinel queue node without a value")
-                };
-                tok.defer_delete(head);
-                break Some(value);
+            } else {
+                // HP: protect the successor before the head CAS — its
+                // value is read *after* the CAS, when another consumer may
+                // already have dequeued and retired it. The head not
+                // having moved validates the hazard (FIFO: `next` cannot
+                // be retired before `head` is).
+                if !tok.protect_ptr(1, next, || self.head.read_aba() == head_snap) {
+                    continue;
+                }
+                if self.head.compare_and_swap_aba(head_snap, next) {
+                    // We own the logical removal: `next` becomes the new
+                    // dummy and we are the unique consumer of its value.
+                    // Reading it after the CAS is safe under the pin /
+                    // slot-1 hazard (no other task touches `value`).
+                    let value = unsafe {
+                        std::ptr::read(&(*next.as_ptr()).value)
+                            .map(ManuallyDrop::into_inner)
+                            .expect("non-sentinel queue node without a value")
+                    };
+                    tok.defer_delete(head);
+                    break Some(value);
+                }
             }
         };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         result
     }
 
     /// Racy emptiness check (exact only in quiescence).
     pub fn is_empty(&self) -> bool {
-        let head = self.head.read();
-        unsafe { head.deref() }.next.read().is_null()
+        if R::NEEDS_PROTECT {
+            let g = self.em.register();
+            g.pin();
+            let head_snap = g.protect_root_aba(0, &self.head);
+            let empty = unsafe { head_snap.get_object().deref() }
+                .next
+                .read()
+                .is_null();
+            g.release(0);
+            g.unpin();
+            empty
+        } else {
+            let head = self.head.read();
+            unsafe { head.deref() }.next.read().is_null()
+        }
     }
 
-    /// Attempt an epoch advance + reclamation.
+    /// Attempt an epoch advance / hazard scan + reclamation.
     pub fn try_reclaim(&self) -> bool {
         self.em.try_reclaim()
     }
@@ -140,19 +187,19 @@ impl<T: Send> MsQueue<T> {
         self.em.clear()
     }
 
-    /// The queue's epoch manager.
-    pub fn epoch_manager(&self) -> &EpochManager {
+    /// The queue's reclamation backend.
+    pub fn reclaimer(&self) -> &R {
         &self.em
     }
 }
 
-impl<T: Send> Default for MsQueue<T> {
+impl<T: Send, R: Reclaimer> Default for MsQueue<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_reclaimer()
     }
 }
 
-impl<T: Send> Drop for MsQueue<T> {
+impl<T: Send, R: Reclaimer> Drop for MsQueue<T, R> {
     fn drop(&mut self) {
         let teardown = || {
             let tok = self.em.register();
@@ -173,6 +220,7 @@ impl<T: Send> Drop for MsQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pgas_epoch::HazardReclaimer;
     use pgas_sim::{Runtime, RuntimeConfig};
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -318,6 +366,40 @@ mod tests {
             drop(tok);
             drop(q);
             assert_eq!(drops.load(Ordering::Relaxed), 9);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn hazard_pointer_backend_mpmc() {
+        let rt = zrt(2);
+        rt.run(|| {
+            let q = MsQueue::<u64, HazardReclaimer>::with_reclaimer();
+            let count = AtomicU64::new(0);
+            rt.coforall_tasks(4, |t| {
+                let tok = q.register();
+                if t < 2 {
+                    for i in 0..250u64 {
+                        q.enqueue(&tok, t as u64 * 250 + i);
+                    }
+                } else {
+                    loop {
+                        match q.dequeue(&tok) {
+                            Some(_) => {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                if count.load(Ordering::Relaxed) >= 500 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 500);
+            assert!(q.is_empty());
         });
         assert_eq!(rt.live_objects(), 0);
     }

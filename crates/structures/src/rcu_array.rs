@@ -4,12 +4,18 @@
 //! paper, and one of the privatization-based structures the paper cites
 //! as motivation). The array is a table of fixed-size *blocks*
 //! distributed round-robin across locales. Reads and writes index
-//! through the current table snapshot under an epoch pin; `grow`
-//! allocates additional blocks, publishes a **new table** with a single
-//! `AtomicObject` CAS, and defers the old table to the `EpochManager` —
-//! readers concurrent with a grow keep using their snapshot safely.
-//! Blocks themselves are never moved or freed until the array drops, so
-//! element references remain stable across resizes (the RCU property).
+//! through the current table snapshot under the reclaimer's protection;
+//! `grow` allocates additional blocks, publishes a **new table** with a
+//! single `AtomicObject` CAS, and defers the old table to the
+//! [`Reclaimer`] — readers concurrent with a grow keep using their
+//! snapshot safely. Blocks themselves are never moved or freed until
+//! the array drops, so element references remain stable across resizes
+//! (the RCU property).
+//!
+//! The table cell is a *root*: protecting it under hazard pointers is
+//! the simple published-then-revalidate loop (`protect_root`), with no
+//! traversal validation subtleties — RCU-style single-indirection
+//! structures are the friendliest case for HP.
 //!
 //! Elements are `u64` cells (the common case for index/descriptor
 //! payloads); element reads/writes are atomic and charged as PGAS
@@ -18,7 +24,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pgas_atomics::AtomicObject;
-use pgas_epoch::{EpochManager, Token};
+use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
 use pgas_sim::{alloc_local, alloc_on, ctx, engine, GlobalPtr, LocaleId};
 
 /// One fixed-size block of cells, owned by a single locale.
@@ -32,21 +38,35 @@ pub struct Table {
     len: usize,
 }
 
-/// The resizable array.
-pub struct RcuArray {
+/// The resizable array, generic over its reclamation backend.
+pub struct RcuArray<R: Reclaimer = EpochManager> {
     table: AtomicObject<Table>,
-    em: EpochManager,
+    em: R,
     block_size: usize,
 }
 
-// SAFETY: all shared state is atomics plus epoch-managed snapshots.
-unsafe impl Send for RcuArray {}
-unsafe impl Sync for RcuArray {}
+// SAFETY: all shared state is atomics plus reclaimer-managed snapshots.
+unsafe impl<R: Reclaimer> Send for RcuArray<R> {}
+unsafe impl<R: Reclaimer> Sync for RcuArray<R> {}
 
 impl RcuArray {
     /// Create an array of `initial_len` zeroed cells using blocks of
-    /// `block_size` elements, distributed over all locales.
+    /// `block_size` elements, distributed over all locales, with the
+    /// default epoch-based backend.
     pub fn new(block_size: usize, initial_len: usize) -> RcuArray {
+        Self::with_reclaimer(block_size, initial_len)
+    }
+
+    /// The array's epoch manager.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<R: Reclaimer> RcuArray<R> {
+    /// Create an array of `initial_len` zeroed cells using reclamation
+    /// backend `R`.
+    pub fn with_reclaimer(block_size: usize, initial_len: usize) -> RcuArray<R> {
         assert!(block_size >= 1, "block size must be at least 1");
         let rt = ctx::current_runtime();
         let n_blocks = initial_len.div_ceil(block_size);
@@ -62,7 +82,7 @@ impl RcuArray {
         );
         RcuArray {
             table: AtomicObject::new(table),
-            em: EpochManager::new(),
+            em: R::new_in_runtime(),
             block_size,
         }
     }
@@ -80,16 +100,26 @@ impl RcuArray {
     }
 
     /// Register the calling task for array operations.
-    pub fn register(&self) -> Token<'_> {
+    pub fn register(&self) -> R::Guard<'_> {
         self.em.register()
     }
 
     /// Logical length of the current snapshot.
     pub fn len(&self) -> usize {
-        // SAFETY: the table pointer is always valid (grow defers, never
-        // frees in place); a racing grow can only make `len` stale, not
-        // dangling.
-        unsafe { self.table.read().deref() }.len
+        if R::NEEDS_PROTECT {
+            let g = self.em.register();
+            g.pin();
+            // SAFETY: hazard-validated root protection.
+            let n = unsafe { g.protect_root(0, &self.table).deref() }.len;
+            g.release(0);
+            g.unpin();
+            n
+        } else {
+            // SAFETY: the table pointer is always valid (grow defers,
+            // never frees in place); under EBR a racing grow can only
+            // make `len` stale, not dangling.
+            unsafe { self.table.read().deref() }.len
+        }
     }
 
     /// True when the array has zero length.
@@ -102,36 +132,38 @@ impl RcuArray {
         ctx::with_core(|core, _| ((i / self.block_size) % core.num_locales()) as LocaleId)
     }
 
-    /// Read element `i` under the token's pin.
+    /// Read element `i` under the token's protection.
     ///
     /// # Panics
     /// If `i` is out of bounds of the current snapshot.
-    pub fn read(&self, tok: &Token<'_>, i: usize) -> u64 {
+    pub fn read(&self, tok: &R::Guard<'_>, i: usize) -> u64 {
         tok.pin();
         let v = ctx::with_core(|core, _| {
-            // SAFETY: pinned — the snapshot cannot be reclaimed under us.
-            let t = unsafe { self.table.read().deref() };
+            // SAFETY: protected — pinned (EBR) or hazard-validated (HP).
+            let t = unsafe { tok.protect_root(0, &self.table).deref() };
             assert!(i < t.len, "index {i} out of bounds (len {})", t.len);
             let block = t.blocks[i / self.block_size];
             engine::get(core, block.locale(), 8);
             // SAFETY: blocks live until the array drops.
             unsafe { block.deref() }.cells[i % self.block_size].load(Ordering::SeqCst)
         });
+        tok.release(0);
         tok.unpin();
         v
     }
 
-    /// Write element `i` under the token's pin.
-    pub fn write(&self, tok: &Token<'_>, i: usize, v: u64) {
+    /// Write element `i` under the token's protection.
+    pub fn write(&self, tok: &R::Guard<'_>, i: usize, v: u64) {
         tok.pin();
         ctx::with_core(|core, _| {
             // SAFETY: as in `read`.
-            let t = unsafe { self.table.read().deref() };
+            let t = unsafe { tok.protect_root(0, &self.table).deref() };
             assert!(i < t.len, "index {i} out of bounds (len {})", t.len);
             let block = t.blocks[i / self.block_size];
             engine::put(core, block.locale(), 8);
             unsafe { block.deref() }.cells[i % self.block_size].store(v, Ordering::SeqCst);
         });
+        tok.release(0);
         tok.unpin();
     }
 
@@ -140,11 +172,11 @@ impl RcuArray {
     /// CAS, and defers the old table. Concurrent growers race; the loser
     /// retries on top of the winner's table. Returns the resulting
     /// length.
-    pub fn grow(&self, tok: &Token<'_>, new_len: usize) -> usize {
+    pub fn grow(&self, tok: &R::Guard<'_>, new_len: usize) -> usize {
         tok.pin();
         let result = loop {
-            let cur_ptr = self.table.read();
-            // SAFETY: pinned.
+            let cur_ptr = tok.protect_root(0, &self.table);
+            // SAFETY: protected.
             let cur = unsafe { cur_ptr.deref() };
             if cur.len >= new_len {
                 break cur.len;
@@ -178,11 +210,13 @@ impl RcuArray {
                 pgas_sim::free(&rt, new_table);
             }
         };
+        tok.release(0);
         tok.unpin();
         result
     }
 
-    /// Attempt an epoch advance (reclaims superseded tables).
+    /// Attempt an epoch advance / hazard scan (reclaims superseded
+    /// tables).
     pub fn try_reclaim(&self) -> bool {
         self.em.try_reclaim()
     }
@@ -192,13 +226,13 @@ impl RcuArray {
         self.em.clear()
     }
 
-    /// The array's epoch manager.
-    pub fn epoch_manager(&self) -> &EpochManager {
+    /// The array's reclamation backend.
+    pub fn reclaimer(&self) -> &R {
         &self.em
     }
 }
 
-impl Drop for RcuArray {
+impl<R: Reclaimer> Drop for RcuArray<R> {
     fn drop(&mut self) {
         let teardown = || {
             let rt = ctx::current_runtime();
@@ -220,7 +254,7 @@ impl Drop for RcuArray {
     }
 }
 
-impl std::fmt::Debug for RcuArray {
+impl<R: Reclaimer> std::fmt::Debug for RcuArray<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RcuArray")
             .field("len", &self.len())
@@ -376,6 +410,43 @@ mod tests {
             let s = rt.total_comm();
             assert_eq!(s.puts, 1);
             assert_eq!(s.gets, 1);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn hazard_pointer_backend_grows_and_reclaims_tables() {
+        use pgas_epoch::HazardReclaimer;
+        let rt = zrt(2);
+        rt.run(|| {
+            let a = RcuArray::<HazardReclaimer>::with_reclaimer(8, 32);
+            {
+                let tok = a.register();
+                for i in 0..32 {
+                    a.write(&tok, i, i as u64 + 1);
+                }
+            }
+            rt.coforall_tasks(4, |t| {
+                let tok = a.register();
+                if t == 0 {
+                    for step in 1..=8 {
+                        a.grow(&tok, 32 + step * 16);
+                    }
+                } else {
+                    for r in 0..200 {
+                        let i = (t * 7 + r) % 32;
+                        assert_eq!(a.read(&tok, i), i as u64 + 1);
+                    }
+                }
+            });
+            assert_eq!(a.len(), 32 + 128);
+            a.clear_reclaim();
+            let snap = a.reclaimer().stats();
+            assert_eq!(
+                snap.objects_deferred, snap.objects_reclaimed,
+                "every superseded table reclaimed"
+            );
+            assert_eq!(snap.objects_deferred, 8, "one table retired per grow");
         });
         assert_eq!(rt.live_objects(), 0);
     }

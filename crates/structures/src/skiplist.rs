@@ -1,5 +1,5 @@
 //! A lock-free skiplist set (Herlihy–Shavit / Fraser style) on PGAS
-//! atomics with epoch reclamation.
+//! atomics with pluggable reclamation.
 //!
 //! The ordered-set structures the paper's building blocks enable do not
 //! stop at linked lists: Fraser's practical-lock-freedom thesis — the
@@ -11,13 +11,28 @@
 //! * removal marks the tower top-down, and the level-0 mark is the
 //!   linearization point of a successful `remove`;
 //! * traversals snip marked nodes per level; the task whose CAS unlinks
-//!   a node at **level 0** hands it to the `EpochManager` (exactly-once
+//!   a node at **level 0** hands it to the [`Reclaimer`] (exactly-once
 //!   retirement, as in [`crate::list`]);
 //! * node heights come from a deterministic xorshift on the node address
 //!   (geometric, p = 1/2), so no RNG state is shared.
+//!
+//! ## Hazard pointers and the index levels
+//!
+//! Under a hazard-pointer backend the tower height is capped at 1, so
+//! the structure degenerates to the (proven) Harris-list protocol. The
+//! reason is fundamental, not an implementation shortcut: a node is
+//! retired when it is unlinked at level 0, but a racing `insert` that
+//! already passed its mark check can still splice the node into an index
+//! level afterwards. The node is then *reachable* at that level while
+//! retired, so the hand-over-hand validation ("my predecessor still
+//! points at it") can succeed on freed memory — exactly the multi-link
+//! hazard-pointer weakness that makes EBR the paper's default. EBR
+//! instantiations keep the full towers (a grace period covers transient
+//! relinks); A8 quantifies what the cap costs HP in exchange for stall
+//! tolerance.
 
 use pgas_atomics::AtomicObject;
-use pgas_epoch::{EpochManager, Token};
+use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
 use pgas_sim::{alloc_local, ctx, GlobalPtr};
 
 /// Maximum tower height (supports ~2^16 elements at p = 1/2 comfortably).
@@ -53,15 +68,16 @@ fn height_for(addr: usize) -> usize {
     ((x.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
 }
 
-/// A lock-free sorted set with expected-logarithmic operations.
-pub struct LockFreeSkipList<K: Ord + Copy + Send + 'static> {
+/// A lock-free sorted set with expected-logarithmic operations (under
+/// EBR; see the module docs for the hazard-pointer height cap).
+pub struct LockFreeSkipList<K: Ord + Copy + Send + 'static, R: Reclaimer = EpochManager> {
     head: GlobalPtr<Node<K>>,
-    em: EpochManager,
+    em: R,
 }
 
-// SAFETY: shared state is atomic towers plus the epoch manager.
-unsafe impl<K: Ord + Copy + Send + 'static> Send for LockFreeSkipList<K> {}
-unsafe impl<K: Ord + Copy + Send + 'static> Sync for LockFreeSkipList<K> {}
+// SAFETY: shared state is atomic towers plus the reclaimer.
+unsafe impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Send for LockFreeSkipList<K, R> {}
+unsafe impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Sync for LockFreeSkipList<K, R> {}
 
 type FindResult<K> = (
     [GlobalPtr<Node<K>>; MAX_HEIGHT],
@@ -70,8 +86,21 @@ type FindResult<K> = (
 );
 
 impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
-    /// An empty set homed on the current locale.
+    /// An empty set homed on the current locale, with the default
+    /// epoch-based backend.
     pub fn new() -> LockFreeSkipList<K> {
+        Self::with_reclaimer()
+    }
+
+    /// The set's epoch manager.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
+    /// An empty set using reclamation backend `R`.
+    pub fn with_reclaimer() -> LockFreeSkipList<K, R> {
         let head = alloc_local(
             &ctx::current_runtime(),
             Node {
@@ -82,31 +111,42 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
         );
         LockFreeSkipList {
             head,
-            em: EpochManager::new(),
+            em: R::new_in_runtime(),
         }
     }
 
     /// Register the calling task.
-    pub fn register(&self) -> Token<'_> {
+    pub fn register(&self) -> R::Guard<'_> {
         self.em.register()
     }
 
     /// Find predecessors/successors of `key` at every level, snipping
     /// marked nodes; the level-0 snipper retires the node. Caller must be
-    /// pinned.
-    fn find(&self, tok: &Token<'_>, key: &K) -> FindResult<K> {
+    /// pinned. Under HP the walking pair is protected hand-over-hand in
+    /// slots 0/1 (only level 0 is populated, see the module docs), so on
+    /// return `preds[0]`/`succs[0]` are protected.
+    fn find(&self, tok: &R::Guard<'_>, key: &K) -> FindResult<K> {
         'retry: loop {
             let mut preds = [GlobalPtr::null(); MAX_HEIGHT];
             let mut succs = [GlobalPtr::null(); MAX_HEIGHT];
             let mut pred = self.head;
+            let mut pred_slot = 1usize;
+            let mut curr_slot = 0usize;
             for level in (0..MAX_HEIGHT).rev() {
-                // SAFETY: pinned; pred is head or an unmarked node seen
-                // this pass.
-                let mut curr = unsafe { pred.deref() }.next[level].read().without_mark();
+                // SAFETY: pred is head (never reclaimed) or a protected
+                // unmarked node seen this pass.
+                let pred_ref = unsafe { pred.deref() };
+                let mut curr = pred_ref.next[level].read().without_mark();
+                if !curr.is_null()
+                    && !tok.protect_ptr(curr_slot, curr, || pred_ref.next[level].read() == curr)
+                {
+                    continue 'retry;
+                }
                 loop {
                     if curr.is_null() {
                         break;
                     }
+                    // SAFETY: protected — pinned (EBR) or validated (HP).
                     let curr_ref = unsafe { curr.deref() };
                     let succ = curr_ref.next[level].read();
                     if succ.is_marked() {
@@ -122,9 +162,22 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
                             tok.defer_delete(curr);
                         }
                         curr = succ.without_mark();
+                        let pred_ref = unsafe { pred.deref() };
+                        if !curr.is_null()
+                            && !tok.protect_ptr(curr_slot, curr, || {
+                                pred_ref.next[level].read() == curr
+                            })
+                        {
+                            continue 'retry;
+                        }
                     } else if unsafe { curr_ref.key() } < *key {
                         pred = curr;
+                        std::mem::swap(&mut pred_slot, &mut curr_slot);
                         curr = succ;
+                        if !tok.protect_ptr(curr_slot, curr, || curr_ref.next[level].read() == succ)
+                        {
+                            continue 'retry;
+                        }
                     } else {
                         break;
                     }
@@ -137,8 +190,18 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
         }
     }
 
+    /// Tower height for a new node: full geometric towers under EBR, 1
+    /// under hazard pointers (see the module docs).
+    fn node_height(addr: usize) -> usize {
+        if R::NEEDS_PROTECT {
+            1
+        } else {
+            height_for(addr)
+        }
+    }
+
     /// Insert `key`; `false` if already present.
-    pub fn insert(&self, tok: &Token<'_>, key: K) -> bool {
+    pub fn insert(&self, tok: &R::Guard<'_>, key: K) -> bool {
         tok.pin();
         let result = 'outer: loop {
             let (mut preds, mut succs, found) = self.find(tok, &key);
@@ -154,13 +217,14 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
                     next: new_tower(),
                 },
             );
-            let height = height_for(node.addr());
+            let height = Self::node_height(node.addr());
             // SAFETY: unpublished.
             unsafe { &mut *node.as_ptr() }.height = height;
             for (level, &succ) in succs.iter().enumerate().take(height) {
                 unsafe { node.deref() }.next[level].write(succ);
             }
-            // Linearization: link level 0.
+            // Linearization: link level 0. preds[0] is protected by
+            // find's walking slots.
             if !unsafe { preds[0].deref() }.next[0].compare_and_swap(succs[0], node) {
                 // Lost the race; node unpublished — free and retry.
                 unsafe {
@@ -170,6 +234,8 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
                 continue 'outer;
             }
             // Link the index levels (best effort; removal may intervene).
+            // Unreachable under HP (height is 1): `node` may not be
+            // dereferenced once published without its own protection.
             for level in 1..height {
                 loop {
                     let node_next = unsafe { node.deref() }.next[level].read();
@@ -202,25 +268,30 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
             }
             break true;
         };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         result
     }
 
     /// Remove `key`; `false` if absent.
-    pub fn remove(&self, tok: &Token<'_>, key: K) -> bool {
+    pub fn remove(&self, tok: &R::Guard<'_>, key: K) -> bool {
         tok.pin();
         let result = self.remove_pinned(tok, key);
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         result
     }
 
-    fn remove_pinned(&self, tok: &Token<'_>, key: K) -> bool {
+    fn remove_pinned(&self, tok: &R::Guard<'_>, key: K) -> bool {
         let (_, succs, found) = self.find(tok, &key);
         if !found {
             return false;
         }
         let node = succs[0];
-        // SAFETY: pinned.
+        // SAFETY: protected by find's walking slots (held until the next
+        // find call, by which point `node_ref` is no longer used).
         let node_ref = unsafe { node.deref() };
         // Mark the index levels top-down (idempotent).
         for level in (1..node_ref.height).rev() {
@@ -252,35 +323,61 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
     }
 
     /// Membership test (read-only: no snipping).
-    pub fn contains(&self, tok: &Token<'_>, key: K) -> bool {
+    pub fn contains(&self, tok: &R::Guard<'_>, key: K) -> bool {
         tok.pin();
-        let mut pred = self.head;
-        let mut found = false;
-        for level in (0..MAX_HEIGHT).rev() {
-            // SAFETY: pinned.
-            let mut curr = unsafe { pred.deref() }.next[level].read().without_mark();
-            loop {
-                if curr.is_null() {
-                    break;
+        let found = 'retry: loop {
+            let mut pred = self.head;
+            let mut pred_slot = 1usize;
+            let mut curr_slot = 0usize;
+            let mut found = false;
+            for level in (0..MAX_HEIGHT).rev() {
+                // SAFETY: head, or a protected unmarked node.
+                let pred_ref = unsafe { pred.deref() };
+                let mut curr = pred_ref.next[level].read().without_mark();
+                if !curr.is_null()
+                    && !tok.protect_ptr(curr_slot, curr, || pred_ref.next[level].read() == curr)
+                {
+                    continue 'retry;
                 }
-                let curr_ref = unsafe { curr.deref() };
-                let succ = curr_ref.next[level].read();
-                if succ.is_marked() {
-                    curr = succ.without_mark();
-                    continue;
-                }
-                let k = unsafe { curr_ref.key() };
-                if k < key {
-                    pred = curr;
-                    curr = succ;
-                } else {
-                    if level == 0 {
-                        found = k == key;
+                loop {
+                    if curr.is_null() {
+                        break;
                     }
-                    break;
+                    let curr_ref = unsafe { curr.deref() };
+                    let succ = curr_ref.next[level].read();
+                    if succ.is_marked() {
+                        // HP cannot step across a marked link; EBR walks
+                        // straight through, as before.
+                        if R::NEEDS_PROTECT {
+                            continue 'retry;
+                        }
+                        curr = succ.without_mark();
+                        continue;
+                    }
+                    let k = unsafe { curr_ref.key() };
+                    if k < key {
+                        pred = curr;
+                        std::mem::swap(&mut pred_slot, &mut curr_slot);
+                        curr = succ;
+                        if !curr.is_null()
+                            && !tok.protect_ptr(curr_slot, curr, || {
+                                curr_ref.next[level].read() == succ
+                            })
+                        {
+                            continue 'retry;
+                        }
+                    } else {
+                        if level == 0 {
+                            found = k == key;
+                        }
+                        break;
+                    }
                 }
             }
-        }
+            break found;
+        };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         found
     }
@@ -289,59 +386,144 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
     /// a consistent-enough snapshot for range queries (keys inserted or
     /// removed concurrently may or may not appear, as with any lock-free
     /// range scan).
-    pub fn collect_range(&self, tok: &Token<'_>, lo: K, hi: K) -> Vec<K> {
+    pub fn collect_range(&self, tok: &R::Guard<'_>, lo: K, hi: K) -> Vec<K> {
         tok.pin();
-        let mut out = Vec::new();
-        // Descend to the first node >= lo using the index levels…
-        let mut pred = self.head;
-        for level in (0..MAX_HEIGHT).rev() {
-            // SAFETY: pinned.
-            let mut curr = unsafe { pred.deref() }.next[level].read().without_mark();
+        let out = 'retry: loop {
+            let mut out = Vec::new();
+            // Descend to the first node >= lo using the index levels…
+            let mut pred = self.head;
+            let mut pred_slot = 1usize;
+            let mut curr_slot = 0usize;
+            for level in (0..MAX_HEIGHT).rev() {
+                // SAFETY: head, or a protected unmarked node.
+                let pred_ref = unsafe { pred.deref() };
+                let mut curr = pred_ref.next[level].read().without_mark();
+                if !curr.is_null()
+                    && !tok.protect_ptr(curr_slot, curr, || pred_ref.next[level].read() == curr)
+                {
+                    continue 'retry;
+                }
+                while !curr.is_null() {
+                    let curr_ref = unsafe { curr.deref() };
+                    let succ = curr_ref.next[level].read();
+                    if succ.is_marked() {
+                        if R::NEEDS_PROTECT {
+                            continue 'retry;
+                        }
+                        curr = succ.without_mark();
+                        continue;
+                    }
+                    if unsafe { curr_ref.key() } < lo {
+                        pred = curr;
+                        std::mem::swap(&mut pred_slot, &mut curr_slot);
+                        curr = succ;
+                        if !curr.is_null()
+                            && !tok.protect_ptr(curr_slot, curr, || {
+                                curr_ref.next[level].read() == succ
+                            })
+                        {
+                            continue 'retry;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // …then walk level 0 through the range.
+            let pred_ref = unsafe { pred.deref() };
+            let mut curr = pred_ref.next[0].read().without_mark();
+            if !curr.is_null()
+                && !tok.protect_ptr(curr_slot, curr, || pred_ref.next[0].read() == curr)
+            {
+                continue 'retry;
+            }
+            let mut restart = false;
             while !curr.is_null() {
                 let curr_ref = unsafe { curr.deref() };
-                let succ = curr_ref.next[level].read();
-                if succ.is_marked() {
-                    curr = succ.without_mark();
-                    continue;
+                let succ = curr_ref.next[0].read();
+                let k = unsafe { curr_ref.key() };
+                if k >= hi {
+                    break;
                 }
-                if unsafe { curr_ref.key() } < lo {
-                    pred = curr;
-                    curr = succ;
-                } else {
+                if R::NEEDS_PROTECT && succ.is_marked() {
+                    restart = true;
+                    break;
+                }
+                if !succ.is_marked() && k >= lo {
+                    out.push(k);
+                }
+                let prev_ref = curr_ref;
+                std::mem::swap(&mut pred_slot, &mut curr_slot);
+                curr = succ.without_mark();
+                if !curr.is_null()
+                    && !tok.protect_ptr(curr_slot, curr, || prev_ref.next[0].read() == succ)
+                {
+                    restart = true;
                     break;
                 }
             }
-        }
-        // …then walk level 0 through the range.
-        let mut curr = unsafe { pred.deref() }.next[0].read().without_mark();
-        while !curr.is_null() {
-            let curr_ref = unsafe { curr.deref() };
-            let succ = curr_ref.next[0].read();
-            let k = unsafe { curr_ref.key() };
-            if k >= hi {
-                break;
+            if restart {
+                continue 'retry;
             }
-            if !succ.is_marked() && k >= lo {
-                out.push(k);
-            }
-            curr = succ.without_mark();
-        }
+            break out;
+        };
+        tok.release(0);
+        tok.release(1);
         tok.unpin();
         out
     }
 
     /// Number of present keys (racy; exact in quiescence).
     pub fn len(&self) -> usize {
-        let mut n = 0;
-        let mut curr = unsafe { self.head.deref() }.next[0].read().without_mark();
-        while !curr.is_null() {
-            let succ = unsafe { curr.deref() }.next[0].read();
-            if !succ.is_marked() {
-                n += 1;
+        if R::NEEDS_PROTECT {
+            let g = self.em.register();
+            g.pin();
+            let n = 'retry: loop {
+                // SAFETY: head sentinel, never reclaimed.
+                let mut prev_ref = unsafe { self.head.deref() };
+                let mut prev_slot = 1usize;
+                let mut curr_slot = 0usize;
+                let mut curr = prev_ref.next[0].read().without_mark();
+                if !curr.is_null()
+                    && !g.protect_ptr(curr_slot, curr, || prev_ref.next[0].read() == curr)
+                {
+                    continue 'retry;
+                }
+                let mut n = 0usize;
+                while !curr.is_null() {
+                    let curr_ref = unsafe { curr.deref() };
+                    let succ = curr_ref.next[0].read();
+                    if succ.is_marked() {
+                        continue 'retry;
+                    }
+                    n += 1;
+                    prev_ref = curr_ref;
+                    std::mem::swap(&mut prev_slot, &mut curr_slot);
+                    curr = succ;
+                    if !curr.is_null()
+                        && !g.protect_ptr(curr_slot, curr, || prev_ref.next[0].read() == succ)
+                    {
+                        continue 'retry;
+                    }
+                }
+                break n;
+            };
+            g.release(0);
+            g.release(1);
+            g.unpin();
+            n
+        } else {
+            let mut n = 0;
+            let mut curr = unsafe { self.head.deref() }.next[0].read().without_mark();
+            while !curr.is_null() {
+                let succ = unsafe { curr.deref() }.next[0].read();
+                if !succ.is_marked() {
+                    n += 1;
+                }
+                curr = succ.without_mark();
             }
-            curr = succ.without_mark();
+            n
         }
-        n
     }
 
     /// True when empty (racy; exact in quiescence).
@@ -349,7 +531,7 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
         self.len() == 0
     }
 
-    /// Attempt an epoch advance + reclamation.
+    /// Attempt an epoch advance / hazard scan + reclamation.
     pub fn try_reclaim(&self) -> bool {
         self.em.try_reclaim()
     }
@@ -359,19 +541,19 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
         self.em.clear()
     }
 
-    /// The set's epoch manager.
-    pub fn epoch_manager(&self) -> &EpochManager {
+    /// The set's reclamation backend.
+    pub fn reclaimer(&self) -> &R {
         &self.em
     }
 }
 
-impl<K: Ord + Copy + Send + 'static> Default for LockFreeSkipList<K> {
+impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Default for LockFreeSkipList<K, R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_reclaimer()
     }
 }
 
-impl<K: Ord + Copy + Send + 'static> Drop for LockFreeSkipList<K> {
+impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Drop for LockFreeSkipList<K, R> {
     fn drop(&mut self) {
         let teardown = || {
             let rt = ctx::current_runtime();
@@ -631,6 +813,60 @@ mod tests {
                 }
             });
             assert_eq!(s.len(), 4 * 25);
+            s.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn hazard_pointer_backend_caps_height_and_stays_correct() {
+        use pgas_epoch::HazardReclaimer;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::<u8, HazardReclaimer>::with_reclaimer();
+            let tok = s.register();
+            let mut model = std::collections::BTreeSet::new();
+            let mut rng = StdRng::seed_from_u64(77);
+            for _ in 0..2000 {
+                let k: u8 = rng.gen_range(0..96);
+                match rng.gen_range(0..3) {
+                    0 => assert_eq!(s.insert(&tok, k), model.insert(k)),
+                    1 => assert_eq!(s.remove(&tok, k), model.remove(&k)),
+                    _ => assert_eq!(s.contains(&tok, k), model.contains(&k)),
+                }
+            }
+            assert_eq!(s.len(), model.len());
+            // Height cap: no index levels under HP.
+            assert!(unsafe { s.head.deref() }.next[1].read().is_null());
+            drop(tok);
+            s.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn hazard_pointer_backend_concurrent_churn() {
+        use pgas_epoch::HazardReclaimer;
+        let rt = zrt(1);
+        rt.run(|| {
+            let s = LockFreeSkipList::<u16, HazardReclaimer>::with_reclaimer();
+            let net = AtomicUsize::new(0);
+            rt.coforall_tasks(4, |t| {
+                let tok = s.register();
+                for i in 0..250u32 {
+                    let k = ((t as u32 * 37 + i) % 128) as u16;
+                    if i % 2 == 0 {
+                        if s.insert(&tok, k) {
+                            net.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else if s.remove(&tok, k) {
+                        net.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            assert_eq!(s.len(), net.load(Ordering::Relaxed));
             s.clear_reclaim();
         });
         assert_eq!(rt.live_objects(), 0);

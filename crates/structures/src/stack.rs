@@ -2,9 +2,14 @@
 //!
 //! `push` is the verbatim shape of the paper's example: read the head with
 //! its ABA counter, point the new node at it, and `compareAndSwapABA` it
-//! in. `pop` logically removes the node and hands it to the
-//! `EpochManager`, which is what makes the *memory reclamation* safe — the
-//! very problem the paper's two building blocks exist to solve together.
+//! in. `pop` logically removes the node and hands it to the reclamation
+//! backend, which is what makes the *memory reclamation* safe — the very
+//! problem the paper's two building blocks exist to solve together.
+//!
+//! The stack is generic over its [`Reclaimer`]: the default is the
+//! distributed `EpochManager` (pin covers the whole operation), and
+//! `LockFreeStack<T, HazardReclaimer>` swaps in hazard pointers, where
+//! `pop` protects the head node in slot 0 before dereferencing it.
 //!
 //! Nodes are allocated on the locale of the pushing task, so a stack used
 //! from many locales interleaves remote references; the head cell lives on
@@ -13,7 +18,7 @@
 use std::mem::ManuallyDrop;
 
 use pgas_atomics::AtomicAbaObject;
-use pgas_epoch::{EpochManager, Token};
+use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
 use pgas_sim::{alloc_local, ctx, GlobalPtr};
 
 /// One stack cell.
@@ -22,34 +27,50 @@ pub struct Node<T> {
     next: GlobalPtr<Node<T>>,
 }
 
-/// A lock-free stack usable from any locale, with epoch-based reclamation.
-pub struct LockFreeStack<T: Send> {
+/// A lock-free stack usable from any locale, generic over its
+/// reclamation backend (epoch-based by default).
+pub struct LockFreeStack<T: Send, R: Reclaimer = EpochManager> {
     head: AtomicAbaObject<Node<T>>,
-    em: EpochManager,
+    em: R,
 }
 
-// SAFETY: the head cell is an atomic word and the manager is thread-safe;
-// values are required to be Send by the public API bounds.
-unsafe impl<T: Send> Send for LockFreeStack<T> {}
-unsafe impl<T: Send> Sync for LockFreeStack<T> {}
+// SAFETY: the head cell is an atomic word and the reclaimer is Send+Sync
+// by its trait bounds; values are required to be Send by the public API.
+unsafe impl<T: Send, R: Reclaimer> Send for LockFreeStack<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for LockFreeStack<T, R> {}
 
 impl<T: Send> LockFreeStack<T> {
     /// Create an empty stack homed on the current locale, with its own
-    /// epoch manager.
+    /// epoch manager (the default backend).
     pub fn new() -> LockFreeStack<T> {
+        Self::with_reclaimer()
+    }
+
+    /// The stack's epoch manager (for stats or manual control).
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<T: Send, R: Reclaimer> LockFreeStack<T, R> {
+    /// Create an empty stack using reclamation backend `R`, constructed
+    /// on the current locale.
+    pub fn with_reclaimer() -> LockFreeStack<T, R> {
         LockFreeStack {
             head: AtomicAbaObject::null(),
-            em: EpochManager::new(),
+            em: R::new_in_runtime(),
         }
     }
 
-    /// Register the calling task for stack operations (the epoch token).
-    pub fn register(&self) -> Token<'_> {
+    /// Register the calling task for stack operations.
+    pub fn register(&self) -> R::Guard<'_> {
         self.em.register()
     }
 
-    /// Push `value` (Listing 1).
-    pub fn push(&self, tok: &Token<'_>, value: T) {
+    /// Push `value` (Listing 1). Needs no protection even under hazard
+    /// pointers: the new node is unpublished and the head is never
+    /// dereferenced.
+    pub fn push(&self, tok: &R::Guard<'_>, value: T) {
         tok.pin();
         let node = alloc_local(
             &ctx::current_runtime(),
@@ -70,16 +91,18 @@ impl<T: Send> LockFreeStack<T> {
     }
 
     /// Pop the top value, or `None` when empty. The removed node is
-    /// deferred to the epoch manager.
-    pub fn pop(&self, tok: &Token<'_>) -> Option<T> {
+    /// deferred to the reclaimer.
+    pub fn pop(&self, tok: &R::Guard<'_>) -> Option<T> {
         tok.pin();
         let result = loop {
-            let old_head = self.head.read_aba();
+            // Under HP this publishes+validates the head in slot 0; under
+            // EBR it is a plain `read_aba`.
+            let old_head = tok.protect_root_aba(0, &self.head);
             let top = old_head.get_object();
             if top.is_null() {
                 break None;
             }
-            // SAFETY: pinned — the node cannot be reclaimed under us.
+            // SAFETY: protected — pinned (EBR) or hazard-validated (HP).
             let next = unsafe { top.deref() }.next;
             if self.head.compare_and_swap_aba(old_head, next) {
                 // We won the logical removal: we are the unique owner of
@@ -90,6 +113,7 @@ impl<T: Send> LockFreeStack<T> {
                 break Some(value);
             }
         };
+        tok.release(0);
         tok.unpin();
         result
     }
@@ -99,7 +123,7 @@ impl<T: Send> LockFreeStack<T> {
         self.head.read().is_null()
     }
 
-    /// Attempt an epoch advance + reclamation.
+    /// Attempt an epoch advance / hazard scan + reclamation.
     pub fn try_reclaim(&self) -> bool {
         self.em.try_reclaim()
     }
@@ -109,21 +133,21 @@ impl<T: Send> LockFreeStack<T> {
         self.em.clear()
     }
 
-    /// The stack's epoch manager (for stats or manual control).
-    pub fn epoch_manager(&self) -> &EpochManager {
+    /// The stack's reclamation backend (for stats or manual control).
+    pub fn reclaimer(&self) -> &R {
         &self.em
     }
 }
 
-impl<T: Send> Default for LockFreeStack<T> {
+impl<T: Send, R: Reclaimer> Default for LockFreeStack<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_reclaimer()
     }
 }
 
-impl<T: Send> Drop for LockFreeStack<T> {
+impl<T: Send, R: Reclaimer> Drop for LockFreeStack<T, R> {
     fn drop(&mut self) {
-        // Pop-and-drop every remaining value; the embedded EpochManager's
+        // Pop-and-drop every remaining value; the embedded reclaimer's
         // own Drop (fields drop after this body) reclaims deferred nodes.
         let teardown = || {
             let tok = self.em.register();
@@ -140,6 +164,7 @@ impl<T: Send> Drop for LockFreeStack<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pgas_epoch::HazardReclaimer;
     use pgas_sim::{Runtime, RuntimeConfig};
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -281,6 +306,32 @@ mod tests {
                 drop(tok);
             }
             assert_eq!(drops.load(Ordering::Relaxed), 7);
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn hazard_pointer_backend_conserves_values() {
+        let rt = zrt(2);
+        rt.run(|| {
+            let s = LockFreeStack::<u64, HazardReclaimer>::with_reclaimer();
+            let popped_n = AtomicU64::new(0);
+            rt.coforall_tasks(4, |t| {
+                let tok = s.register();
+                for i in 0..200u64 {
+                    s.push(&tok, t as u64 * 200 + i);
+                    if i % 2 == 0 && s.pop(&tok).is_some() {
+                        popped_n.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            let tok = s.register();
+            while s.pop(&tok).is_some() {
+                popped_n.fetch_add(1, Ordering::Relaxed);
+            }
+            drop(tok);
+            assert_eq!(popped_n.load(Ordering::Relaxed), 800);
+            s.clear_reclaim();
         });
         assert_eq!(rt.live_objects(), 0);
     }
