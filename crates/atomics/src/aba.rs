@@ -25,6 +25,7 @@
 use std::sync::atomic::Ordering;
 
 use pgas_sim::engine::{self, AtomicPath};
+use pgas_sim::telemetry::{opkind, OpClass, OpSpan};
 use pgas_sim::{ctx, GlobalPtr, LocaleId, PointerMode};
 use portable_atomic::AtomicU128;
 
@@ -158,6 +159,7 @@ impl<T> AtomicAbaObject<T> {
     /// idempotent under fault injection, so a lost read request may be
     /// retried (see [`pgas_sim::faults`]).
     pub fn read_aba(&self) -> Aba<T> {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::READ, 0);
         pgas_sim::faults::with_class(pgas_sim::faults::OpClass::Idempotent, || {
             unpack(self.route(|c| c.load(Ordering::SeqCst)))
         })
@@ -166,6 +168,7 @@ impl<T> AtomicAbaObject<T> {
     /// Install `new` iff both the pointer *and* the counter still match
     /// `expected` — the ABA-immune CAS. The counter is bumped on success.
     pub fn compare_and_swap_aba(&self, expected: Aba<T>, new: GlobalPtr<T>) -> bool {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::CAS, 0);
         let e = pack(expected.ptr, expected.count);
         let n = pack(new, expected.count.wrapping_add(1));
         self.route(move |c| {
@@ -177,6 +180,7 @@ impl<T> AtomicAbaObject<T> {
     /// Atomically swap in `new`, bumping the counter; returns the previous
     /// snapshot.
     pub fn exchange_aba(&self, new: GlobalPtr<T>) -> Aba<T> {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::EXCHANGE, 0);
         let bits = new.into_bits();
         unpack(self.route(move |c| {
             let mut cur = c.load(Ordering::SeqCst);
@@ -201,6 +205,7 @@ impl<T> AtomicAbaObject<T> {
     /// low word, so — unlike every other operation here — it can ride the
     /// NIC as an RDMA atomic.
     pub fn read(&self) -> GlobalPtr<T> {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::READ, 0);
         pgas_sim::faults::with_class(pgas_sim::faults::OpClass::Idempotent, || {
             ctx::with_core(
                 |core, _| match engine::remote_atomic_u64(core, self.owner) {
@@ -252,6 +257,7 @@ impl<T> AtomicAbaObject<T> {
     /// because the paper lets advanced users mix variants). The counter
     /// still advances on success.
     pub fn compare_and_swap(&self, expected: GlobalPtr<T>, new: GlobalPtr<T>) -> bool {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::CAS, 0);
         let (e, n) = (expected.into_bits(), new.into_bits());
         self.route(move |c| {
             let mut cur = c.load(Ordering::SeqCst);

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pgas_sim::engine::{self, AtomicPath};
+use pgas_sim::telemetry::{opkind, OpClass, OpSpan};
 use pgas_sim::{ctx, LocaleId, Privatized, WideGlobalPtr};
 
 const SLOT_BITS: u32 = 32;
@@ -295,12 +296,14 @@ impl<T> DescriptorAtomicObject<T> {
     /// of the descriptor plus one GET to resolve it. A read that observes
     /// a descriptor recycled mid-flight retries.
     pub fn read(&self) -> DescRef<T> {
+        let span = OpSpan::start(OpClass::AtomicObjectOp, opkind::READ, 0);
         ctx::with_core(|core, _| loop {
             let desc = self.route(|c| c.load(Ordering::SeqCst));
             if let Some(ptr) = self.table.resolve::<T>(core, desc) {
                 return DescRef { desc, ptr };
             }
             // Stale: the cell has necessarily moved on; re-read.
+            span.retry();
         })
     }
 
@@ -308,6 +311,7 @@ impl<T> DescriptorAtomicObject<T> {
     /// in with a single 64-bit atomic, and retires the previous
     /// descriptor. Returns the previous pointer.
     pub fn exchange(&self, new: WideGlobalPtr<T>) -> WideGlobalPtr<T> {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::EXCHANGE, 0);
         ctx::with_core(|core, _| {
             let new_desc = if new.is_null() {
                 NULL_DESC
@@ -334,6 +338,7 @@ impl<T> DescriptorAtomicObject<T> {
     /// cannot spoof it (generation bits differ). On success the old
     /// descriptor is retired.
     pub fn compare_and_swap(&self, expected: DescRef<T>, new: WideGlobalPtr<T>) -> bool {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::CAS, 0);
         ctx::with_core(|core, _| {
             let new_desc = if new.is_null() {
                 NULL_DESC

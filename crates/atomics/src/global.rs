@@ -20,6 +20,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pgas_sim::engine::{self, AtomicPath};
+use pgas_sim::telemetry::{opkind, OpClass, OpSpan};
 use pgas_sim::{ctx, GlobalPtr, LocaleId, PointerMode, WideGlobalPtr};
 use portable_atomic::AtomicU128;
 
@@ -119,6 +120,7 @@ impl<T> AtomicObject<T> {
     /// under fault injection, so a lost read request may be retried (see
     /// [`pgas_sim::faults`]).
     pub fn read(&self) -> GlobalPtr<T> {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::READ, 0);
         pgas_sim::faults::with_class(pgas_sim::faults::OpClass::Idempotent, || match &self.repr {
             Repr::Compressed(c) => {
                 GlobalPtr::from_bits(self.route64(c, |c| c.load(Ordering::SeqCst)))
@@ -132,6 +134,7 @@ impl<T> AtomicObject<T> {
 
     /// Atomically replace the reference.
     pub fn write(&self, ptr: GlobalPtr<T>) {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::WRITE, 0);
         match &self.repr {
             Repr::Compressed(c) => {
                 let bits = ptr.into_bits();
@@ -146,6 +149,7 @@ impl<T> AtomicObject<T> {
 
     /// Atomically swap in `ptr`, returning the previous reference.
     pub fn exchange(&self, ptr: GlobalPtr<T>) -> GlobalPtr<T> {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::EXCHANGE, 0);
         match &self.repr {
             Repr::Compressed(c) => {
                 let bits = ptr.into_bits();
@@ -166,6 +170,7 @@ impl<T> AtomicObject<T> {
         expected: GlobalPtr<T>,
         new: GlobalPtr<T>,
     ) -> Result<GlobalPtr<T>, GlobalPtr<T>> {
+        let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::CAS, 0);
         match &self.repr {
             Repr::Compressed(c) => {
                 let (e, n) = (expected.into_bits(), new.into_bits());

@@ -1,0 +1,57 @@
+//! Generates the worked critical-path example of EXPERIMENTS.md §A9: a
+//! fig3-dist-shaped distributed enqueue workload at 8 locales, traced to
+//! JSON-lines and ready for the analyzer.
+//!
+//! ```text
+//! cargo run -p pgas-bench --release --example trace_queue8
+//! cargo run -p pgas-bench --release --bin trace_analyze -- \
+//!     target/queue8_trace.jsonl --strict --top 3 --chrome target/queue8_perfetto.json
+//! ```
+//!
+//! Network atomics are disabled so every remote queue operation funnels
+//! through active messages — the regime where the wire / queueing /
+//! handler decomposition is interesting. One task per locale keeps the
+//! run cheap and the per-locale span-id sequences deterministic.
+
+use std::sync::Arc;
+
+use pgas_nb::prelude::*;
+use pgas_nb::sim::telemetry::JsonLinesSink;
+
+const LOCALES: usize = 8;
+const OPS_PER_LOCALE: u64 = 32;
+const TRACE_PATH: &str = "target/queue8_trace.jsonl";
+
+fn main() {
+    let sink = Arc::new(JsonLinesSink::create(TRACE_PATH).expect("create trace file"));
+    let rt = Runtime::new(RuntimeConfig::cluster(LOCALES).without_network_atomics());
+    rt.set_telemetry_sink(sink.clone());
+    rt.run(|| {
+        let q = MsQueue::<u64>::new();
+        rt.coforall_locales(|l| {
+            let tok = q.register();
+            for i in 0..OPS_PER_LOCALE {
+                q.enqueue(&tok, (l as u64) << 32 | i);
+            }
+        });
+        let tok = q.register();
+        let mut drained = 0u64;
+        while q.dequeue(&tok).is_some() {
+            drained += 1;
+        }
+        drop(tok);
+        assert_eq!(drained, LOCALES as u64 * OPS_PER_LOCALE, "queue lost items");
+        q.try_reclaim();
+        q.clear_reclaim();
+    });
+    sink.try_flush().expect("flush trace");
+    println!(
+        "traced {} enqueues + {} dequeues across {LOCALES} locales -> {TRACE_PATH}",
+        LOCALES as u64 * OPS_PER_LOCALE,
+        LOCALES as u64 * OPS_PER_LOCALE,
+    );
+    println!(
+        "analyze: cargo run -p pgas-bench --release --bin trace_analyze -- \
+         {TRACE_PATH} --strict --top 3"
+    );
+}

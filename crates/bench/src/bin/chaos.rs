@@ -12,7 +12,10 @@
 //! injection counters and a verdict; the binary exits nonzero if any cell
 //! fails. Same-seed reruns inject at identical decision points, so a
 //! failing cell reproduces with its printed seed (see DESIGN.md, "Fault
-//! model & invariants").
+//! model & invariants"). A failing cell additionally dumps its buffered
+//! span trace to `target/chaos_trace_<plan>_<workload>_seed<N>.jsonl`
+//! (most recent [`TRACE_RING_CAPACITY`] spans), ready for
+//! `trace_analyze`.
 //!
 //! `--reclaimer ebr|hp` swaps the memory-reclamation backend under every
 //! workload (default: epoch-based). The stalled-task plan checks opposite
@@ -33,6 +36,8 @@ const TASKS_PER_LOCALE: usize = 2;
 const WORKERS: u64 = (LOCALES * TASKS_PER_LOCALE) as u64;
 /// Consumer id used for the single-task drain at the end of a queue cell.
 const DRAIN_CONSUMER: u64 = 0xFFFF;
+/// Spans buffered per cell for the failure dump (oldest evicted first).
+const TRACE_RING_CAPACITY: usize = 65_536;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Workload {
@@ -135,6 +140,9 @@ struct CellOutcome {
     telemetry: TelemetrySnapshot,
     reclaim: ReclaimSnapshot,
     failures: Vec<String>,
+    /// The cell's buffered span trace, oldest first — dumped to disk when
+    /// the verdict is FAIL so the causal history is not lost.
+    trace: Vec<telemetry::Span>,
 }
 
 type FailLog = Mutex<Vec<String>>;
@@ -354,6 +362,11 @@ fn map_cell<R: Reclaimer>(
 
 fn run_cell<R: Reclaimer>(plan: &FaultPlan, wl: Workload, sc: &Scale) -> CellOutcome {
     let rt = Runtime::new(cfg(plan));
+    // Buffer the cell's spans so a failing verdict can ship its causal
+    // history to disk. Installing a sink turns tracing on for this
+    // runtime only; the repro-fingerprint cells stay sink-free.
+    let ring = Arc::new(telemetry::RingSink::new(TRACE_RING_CAPACITY));
+    rt.set_telemetry_sink(ring.clone());
     let checker = InvariantChecker::new();
     let ops = AtomicU64::new(0);
     let log: FailLog = Mutex::new(Vec::new());
@@ -434,7 +447,22 @@ fn run_cell<R: Reclaimer>(plan: &FaultPlan, wl: Workload, sc: &Scale) -> CellOut
         telemetry,
         reclaim,
         failures,
+        trace: ring.take(),
     }
+}
+
+/// Write `spans` as JSON-lines to `path` — the same format the harness's
+/// `--trace` flag produces, so `trace_analyze` consumes it directly.
+fn dump_trace(path: &str, spans: &[telemetry::Span]) -> std::io::Result<()> {
+    let mut out = String::with_capacity(spans.len() * 160);
+    for s in spans {
+        out.push_str(&s.to_json());
+        out.push('\n');
+    }
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, out)
 }
 
 /// A deterministic, contention-free cell: one task issuing a fixed
@@ -620,6 +648,13 @@ fn main() -> ExitCode {
                 // not hand-picked, so nothing is missing when debugging.
                 println!("    comm: {}", comm.to_json());
                 println!("    latency: {}", out.telemetry.latency_json());
+                // Seed-stamped span dump: the failing cell's causal
+                // history, replayable through trace_analyze.
+                let path = format!("target/chaos_trace_{pname}_{}_seed{seed}.jsonl", wl.label());
+                match dump_trace(&path, &out.trace) {
+                    Ok(()) => println!("    trace: {} spans -> {path}", out.trace.len()),
+                    Err(e) => println!("    trace: dump to {path} failed: {e}"),
+                }
             }
             for f in &out.failures {
                 println!("    !! {f}");

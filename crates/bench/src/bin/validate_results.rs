@@ -13,14 +13,16 @@
 //!   `ns_per_op`, `mops`, `am_count`, five chaos counters) with the right
 //!   types, plus the telemetry fields: `comm` (full counter object or
 //!   null, consistent with `am_count`) and `latency` (object mapping op
-//!   class → `{count, p50, p99, max, mean}` with `p50 ≤ p99 ≤ max`);
+//!   class → `{count, p50, p99, p999, max, mean}` with
+//!   `p50 ≤ p99 ≤ p999 ≤ max`);
 //! * `reclaim` is null everywhere except the A8 reclamation-ablation
 //!   rows, which must carry the per-backend counters (backend name,
 //!   retired/reclaimed/scans/hazard-protects, stalled-task numbers) with
 //!   `reclaimed ≤ retired`, no hazard publications under EBR, and
 //!   progress behind the stall under HP;
 //! * the A1 scatter rows CI pins are present;
-//! * with `--trace`, every line of the span trace parses and satisfies
+//! * with `--trace`, every line of the span trace parses, carries the
+//!   causal-identity fields (`trace`, `span`, `parent`), and satisfies
 //!   `issue ≤ arrive ≤ start ≤ end`.
 
 use std::process::ExitCode;
@@ -78,14 +80,16 @@ fn check_latency(lat: &Value) -> Result<(), String> {
         let count = num(h, "count").map_err(ctx)?;
         let p50 = num(h, "p50").map_err(ctx)?;
         let p99 = num(h, "p99").map_err(ctx)?;
+        let p999 = num(h, "p999").map_err(ctx)?;
         let max = num(h, "max").map_err(ctx)?;
         let _mean = num(h, "mean").map_err(ctx)?;
         if count < 1.0 {
             return Err(format!("latency[{class:?}]: empty class was emitted"));
         }
-        if !(p50 <= p99 && p99 <= max) {
+        if !(p50 <= p99 && p99 <= p999 && p999 <= max) {
             return Err(format!(
-                "latency[{class:?}]: percentiles not ordered (p50={p50} p99={p99} max={max})"
+                "latency[{class:?}]: percentiles not ordered \
+                 (p50={p50} p99={p99} p999={p999} max={max})"
             ));
         }
     }
@@ -262,6 +266,9 @@ fn check_trace(text: &str) -> Result<usize, String> {
         let start = num(&span, "start").map_err(ctx)?;
         let end = num(&span, "end").map_err(ctx)?;
         num(&span, "tag").map_err(ctx)?;
+        num(&span, "trace").map_err(ctx)?;
+        num(&span, "span").map_err(ctx)?;
+        num(&span, "parent").map_err(ctx)?;
         if !(issue <= arrive && arrive <= start && start <= end) {
             return Err(ctx(format!(
                 "span stamps not ordered: issue={issue} arrive={arrive} start={start} end={end}"

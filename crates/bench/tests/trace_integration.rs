@@ -1,0 +1,151 @@
+//! End-to-end acceptance tests for the causal-tracing pipeline
+//! (ISSUE 7): a traced multi-locale workload must reconstruct into
+//! rooted trees whose component decomposition sums *exactly* to each
+//! root's virtual-time duration, the Chrome export must be valid JSON,
+//! and a deterministic run must produce a bit-identical trace file.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pgas_bench::{json, trace};
+use pgas_nb::prelude::*;
+use pgas_nb::sim::telemetry::JsonLinesSink;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pgas_trace_it_{}_{name}", std::process::id()))
+}
+
+/// A multi-locale queue workload over the AM path (network atomics off),
+/// the fig3-dist shape: every enqueue/dequeue from a non-owner locale
+/// funnels through active messages, so queue-op roots grow nested AM
+/// spans. Sized small — CI runs this on one core.
+#[test]
+fn traced_queue_workload_reconstructs_with_exact_accounting() {
+    let path = tmp("queue_dist.jsonl");
+    let sink = Arc::new(JsonLinesSink::create(&path).unwrap());
+    {
+        let rt = Runtime::new(RuntimeConfig::cluster(4).without_network_atomics());
+        rt.set_telemetry_sink(sink.clone());
+        rt.run(|| {
+            let q = MsQueue::<u64>::new();
+            rt.coforall_locales(|l| {
+                rt.coforall_tasks(1, |t| {
+                    let tok = q.register();
+                    for i in 0..16u64 {
+                        q.enqueue(&tok, (l as u64) << 32 | (t as u64) << 16 | i);
+                        if i % 2 == 1 {
+                            let _ = q.dequeue(&tok);
+                        }
+                    }
+                });
+            });
+            let tok = q.register();
+            while q.dequeue(&tok).is_some() {}
+            drop(tok);
+            q.try_reclaim();
+            q.clear_reclaim();
+        });
+    }
+    sink.try_flush().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let spans = trace::parse_trace(&text).expect("every trace line parses");
+    assert!(
+        spans.len() > 100,
+        "expected a substantial trace, got {} spans",
+        spans.len()
+    );
+
+    let a = trace::analyze(spans);
+    assert_eq!(a.duplicate_ids, 0, "span ids must be unique");
+    assert!(
+        a.rooted_pct() >= 99.0,
+        "only {:.2}% of spans rooted ({} orphans)",
+        a.rooted_pct(),
+        a.orphans.len()
+    );
+    assert!(
+        a.accounting_exact(),
+        "components must sum exactly to every root's duration"
+    );
+
+    // Cross-locale propagation: queue-op roots must carry nested remote
+    // spans, not just stand alone.
+    assert!(
+        a.per_root
+            .iter()
+            .any(|r| a.spans[r.root].class == "queue_op" && r.tree_size > 1),
+        "no queue_op root with nested remote spans"
+    );
+
+    // The Chrome export parses and carries the span events plus the
+    // process/thread metadata records.
+    let doc = trace::chrome_trace(&a);
+    let v = json::parse(&doc).expect("chrome trace is valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(events.len() > a.spans.len(), "metadata events missing");
+}
+
+/// One single-task run: a fixed serial sequence of remote atomic-object
+/// operations. Every vtime stamp and span id is a pure function of the
+/// config, and the sink writes in canonical `(issue, span id)` order, so
+/// the file bytes are reproducible.
+fn run_deterministic(path: &Path) {
+    let sink = Arc::new(JsonLinesSink::create(path).unwrap());
+    let rt = Runtime::new(RuntimeConfig::cluster(4).without_network_atomics());
+    rt.set_telemetry_sink(sink.clone());
+    rt.run(|| {
+        let cell = AtomicObject::<u64>::new_on(1, GlobalPtr::null());
+        for i in 0..48u64 {
+            match i % 3 {
+                0 => {
+                    let _ = cell.read();
+                }
+                1 => cell.write(GlobalPtr::null()),
+                _ => {
+                    let _ = cell.exchange(GlobalPtr::null());
+                }
+            }
+        }
+    });
+    sink.try_flush().unwrap();
+}
+
+/// Env var that flips this test binary into "write one trace and exit"
+/// child mode. Span ids embed a process-wide locale-construction epoch,
+/// so the bit-identical guarantee is per *process invocation* — the test
+/// re-execs itself twice and compares the two children's files.
+const DET_CHILD_ENV: &str = "PGAS_TRACE_DET_OUT";
+
+#[test]
+fn deterministic_run_produces_bit_identical_trace() {
+    if let Ok(path) = std::env::var(DET_CHILD_ENV) {
+        run_deterministic(Path::new(&path));
+        return;
+    }
+    let exe = std::env::current_exe().unwrap();
+    let p1 = tmp("det1.jsonl");
+    let p2 = tmp("det2.jsonl");
+    for p in [&p1, &p2] {
+        let status = std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "deterministic_run_produces_bit_identical_trace",
+                "--test-threads=1",
+            ])
+            .env(DET_CHILD_ENV, p)
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child trace run failed");
+    }
+    let a = std::fs::read(&p1).unwrap();
+    let b = std::fs::read(&p2).unwrap();
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p2);
+    assert!(!a.is_empty(), "trace must not be empty");
+    assert_eq!(a, b, "same config must produce a bit-identical trace file");
+}

@@ -29,18 +29,24 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 
 use crate::globalptr::LocaleId;
 use crate::runtime::RuntimeCore;
-use crate::telemetry::{OpClass, Span};
+use crate::telemetry::{
+    trace::{self, TraceCtx},
+    OpClass, Span,
+};
 use crate::vtime;
 
 /// A message bound for a locale's progress threads.
 pub(crate) enum AmMsg {
     /// Execute the closure. `send_vtime` is the virtual arrival time at the
     /// target NIC (sender clock + wire latency); `src` is the issuing
-    /// locale (carried for the telemetry span).
+    /// locale (carried for the telemetry span); `ctx` is the sender's
+    /// causal-trace context, installed around the handler so spans emitted
+    /// on the destination nest under the operation that caused them.
     Call {
         thunk: Box<dyn FnOnce() + Send + 'static>,
         send_vtime: u64,
         src: LocaleId,
+        ctx: Option<TraceCtx>,
     },
     /// Terminate one progress thread (sent once per thread at shutdown).
     Shutdown,
@@ -110,6 +116,7 @@ pub(crate) fn progress_loop(core: Arc<RuntimeCore>, locale: LocaleId, rx: Receiv
                 thunk,
                 send_vtime,
                 src,
+                ctx,
             } => {
                 // Min-clock service discipline: run on whichever server slot
                 // frees up first, regardless of which OS thread we are.
@@ -125,16 +132,38 @@ pub(crate) fn progress_loop(core: Arc<RuntimeCore>, locale: LocaleId, rx: Receiv
                     .am_handled
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 lstats.record(OpClass::AmQueue, start - send_vtime);
+                // Causal tracing: the round-trip span gets its own id on
+                // this locale, parented under the sender's context (or
+                // self-rooted when the sender had none), and the matching
+                // context wraps the handler so spans emitted inside nest
+                // under this AM.
+                let (trace_id, am_span, parent) = if core.tracing() {
+                    let own = core.locale(locale).next_span_id();
+                    match ctx {
+                        Some(c) => (c.trace, own, c.span),
+                        None => (own, own, 0),
+                    }
+                } else {
+                    (0, 0, 0)
+                };
+                let tguard = (am_span != 0).then(|| {
+                    trace::enter(Some(TraceCtx {
+                        trace: trace_id,
+                        span: am_span,
+                    }))
+                });
                 // A panicking handler must not take the progress thread
                 // down with it; the panic is forwarded to the sender via
                 // the reply channel inside the thunk.
                 let _ = catch_unwind(AssertUnwindSafe(thunk));
+                drop(tguard);
                 let end = vtime::now();
                 lstats.record(OpClass::AmService, end - start);
                 // One span per remote operation, stamped from the vtime
                 // points this loop already computes: issue (arrival minus
                 // the wire), arrival, queued start, and the reply landing
-                // back at the sender.
+                // back at the sender. The tag is the server-slot index
+                // (one Perfetto track per progress-thread slot).
                 core.emit_span(|| Span {
                     class: OpClass::AmRoundTrip,
                     src,
@@ -143,7 +172,10 @@ pub(crate) fn progress_loop(core: Arc<RuntimeCore>, locale: LocaleId, rx: Receiv
                     arrive_vtime: send_vtime,
                     start_vtime: start,
                     end_vtime: end + net.am_wire_ns,
-                    tag: 0,
+                    tag: slot as u64,
+                    trace: trace_id,
+                    span: am_span,
+                    parent,
                 });
                 // The slot is busy until the reply has been injected back
                 // onto the wire.
@@ -166,6 +198,9 @@ pub(crate) fn remote_call(
     let cfg = &core.config.network;
     let stats = &core.locale(src).stats;
     let t_issue = vtime::now();
+    // The sender's causal context rides the message so the destination's
+    // round-trip span (and everything it causes) joins this trace.
+    let tctx = trace::current();
 
     // Fault injection, part 1: drop + retry. Only idempotent-class sends
     // are droppable; a dropped message is lost *before* execution, so the
@@ -195,6 +230,7 @@ pub(crate) fn remote_call(
                 stats.record(OpClass::Retry, penalty);
                 // A retry span per dropped attempt, tagged with the global
                 // fault decision index that dropped it.
+                let (trace_id, span_id, parent) = core.span_ids(src);
                 core.emit_span(|| Span {
                     class: OpClass::Retry,
                     src,
@@ -204,6 +240,9 @@ pub(crate) fn remote_call(
                     start_vtime: before + cfg.am_wire_ns,
                     end_vtime: before + cfg.am_wire_ns + penalty,
                     tag: decision,
+                    trace: trace_id,
+                    span: span_id,
+                    parent,
                 });
                 attempt += 1;
             }
@@ -253,6 +292,7 @@ pub(crate) fn remote_call(
             thunk,
             send_vtime,
             src,
+            ctx: tctx,
         },
     );
     if duplicate {
@@ -268,6 +308,7 @@ pub(crate) fn remote_call(
                 thunk: Box::new(|| {}),
                 send_vtime,
                 src,
+                ctx: tctx,
             },
         );
     }
@@ -299,6 +340,7 @@ pub(crate) fn remote_post(
     debug_assert_ne!(src, dest, "remote_post requires a remote destination");
     let cfg = &core.config.network;
     let stats = &core.locale(src).stats;
+    let tctx = trace::current();
     stats
         .am_sent
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -332,6 +374,7 @@ pub(crate) fn remote_post(
             thunk,
             send_vtime,
             src,
+            ctx: tctx,
         },
     );
     if duplicate {
@@ -344,6 +387,7 @@ pub(crate) fn remote_post(
                 thunk: Box::new(|| {}),
                 send_vtime,
                 src,
+                ctx: tctx,
             },
         );
     }

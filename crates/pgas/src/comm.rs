@@ -84,6 +84,7 @@ pub fn route_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
                     stats.record(OpClass::Retry, penalty);
                     // One retry span per dropped NIC request, tagged with
                     // the fault decision index that dropped it.
+                    let (trace_id, span_id, parent) = core.span_ids(here);
                     core.emit_span(|| Span {
                         class: OpClass::Retry,
                         src: here,
@@ -93,6 +94,9 @@ pub fn route_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
                         start_vtime: before + penalty,
                         end_vtime: before + penalty + net.nic_atomic_ns,
                         tag: decision,
+                        trace: trace_id,
+                        span: span_id,
+                        parent,
                     });
                     attempt += 1;
                 }

@@ -80,6 +80,17 @@ pub fn with_core<R>(f: impl FnOnce(&RuntimeCore, LocaleId) -> R) -> R {
     f(unsafe { &*core }, locale)
 }
 
+/// Like [`with_core`], but returns `None` off-runtime instead of
+/// panicking — for best-effort instrumentation (telemetry root spans) that
+/// must be inert outside a task context.
+#[inline]
+pub fn try_with_core<R>(f: impl FnOnce(&RuntimeCore, LocaleId) -> R) -> Option<R> {
+    let (core, locale) = CTX.with(|c| c.get())?;
+    // SAFETY: same invariant as `with_core` — the context installer keeps
+    // the core alive until the guard drops, and we are inside that window.
+    Some(f(unsafe { &*core }, locale))
+}
+
 /// A cloneable handle to the current runtime, usable to construct objects
 /// that must outlive the current task.
 ///

@@ -333,6 +333,12 @@ impl std::fmt::Debug for Completion {
 ///   trigger.
 pub struct Batcher<'h, T: Send> {
     buffers: Vec<Vec<T>>,
+    /// Causal-trace context captured when each destination's buffer got its
+    /// *first* item since the last flush: a bulk AM aggregates many
+    /// logical operations but can only nest under one, so the batch is
+    /// attributed to its first appender (coarse but causally sound — the
+    /// flush cannot depart before that operation existed).
+    trace_ctxs: Vec<Option<crate::telemetry::trace::TraceCtx>>,
     capacity: usize,
     high_watermark: Option<usize>,
     pending_count: usize,
@@ -353,6 +359,7 @@ impl<'h, T: Send> Batcher<'h, T> {
         assert!(capacity >= 1, "aggregation buffers need capacity >= 1");
         Batcher {
             buffers: (0..core.num_locales()).map(|_| Vec::new()).collect(),
+            trace_ctxs: vec![None; core.num_locales()],
             capacity,
             high_watermark: None,
             pending_count: 0,
@@ -378,6 +385,9 @@ impl<'h, T: Send> Batcher<'h, T> {
     /// high watermark).
     pub fn aggregate(&mut self, dest: LocaleId, item: T) {
         let buf = &mut self.buffers[dest as usize];
+        if buf.is_empty() {
+            self.trace_ctxs[dest as usize] = crate::telemetry::trace::current();
+        }
         buf.push(item);
         self.items += 1;
         self.pending_count += 1;
@@ -430,6 +440,11 @@ impl<'h, T: Send> Batcher<'h, T> {
         }
         self.flushes += 1;
         self.pending_count -= batch.len();
+        // Ship under the first appender's trace context (see `trace_ctxs`),
+        // so the bulk AM's span nests under the operation that opened the
+        // batch.
+        let tctx = self.trace_ctxs[dest as usize].take();
+        let _tg = tctx.map(|c| crate::telemetry::trace::enter(Some(c)));
         ctx::with_core(|core, here| {
             if dest == here {
                 // Local batch: apply directly, no communication.

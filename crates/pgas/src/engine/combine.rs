@@ -52,6 +52,10 @@ use crate::am;
 use crate::comm;
 use crate::globalptr::LocaleId;
 use crate::runtime::RuntimeCore;
+use crate::telemetry::{
+    trace::{self, TraceCtx},
+    OpClass, Span,
+};
 use crate::vtime;
 
 /// One announced remote operation, stack-allocated in the publishing task's
@@ -62,6 +66,13 @@ struct OpNode {
     thunk: UnsafeCell<Option<Box<dyn FnOnce() + Send + 'static>>>,
     /// The publisher's virtual clock at announce time.
     publish_vtime: u64,
+    /// Causal-trace ids of this rider's [`OpClass::CombineRide`] span —
+    /// `(trace, span, parent)`, allocated by the publisher at announce
+    /// time (all-zero when tracing is off). The destination handler
+    /// installs the matching context around the rider's thunk, and the
+    /// bulk AM carrying the chunk is parented under the *last* rider's
+    /// span (the AM's interval nests exactly inside that ride).
+    ride: (u64, u64, u64),
     /// Virtual time at which the rider finished on the destination.
     end_vtime: AtomicU64,
     /// A panic raised by the rider, to be re-thrown at the publisher.
@@ -73,10 +84,15 @@ struct OpNode {
 }
 
 impl OpNode {
-    fn new(thunk: Box<dyn FnOnce() + Send + 'static>, publish_vtime: u64) -> OpNode {
+    fn new(
+        thunk: Box<dyn FnOnce() + Send + 'static>,
+        publish_vtime: u64,
+        ride: (u64, u64, u64),
+    ) -> OpNode {
         OpNode {
             thunk: UnsafeCell::new(Some(thunk)),
             publish_vtime,
+            ride,
             end_vtime: AtomicU64::new(0),
             panic: UnsafeCell::new(None),
             done: AtomicBool::new(false),
@@ -179,7 +195,7 @@ pub(crate) fn submit(
     // `am::remote_call` — this function blocks until the operation has
     // executed, so borrows inside `f` cannot outlive this frame.
     let f: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(f) };
-    let node = OpNode::new(f, vtime::now());
+    let node = OpNode::new(f, vtime::now(), core.span_ids(src));
     let q = &core.locale(src).combine.queues[dest as usize];
     q.push(&node);
 
@@ -233,6 +249,25 @@ pub(crate) fn submit(
 
     let end = node.end_vtime.load(Ordering::Acquire);
     vtime::advance_to(end + core.config.network.am_wire_ns);
+    // The rider's end-to-end combining trip: publish → executed on dest →
+    // reply wire. Emitted by the publisher (the only task that knows both
+    // endpoints), under the ids allocated at announce time.
+    let (ride_trace, ride_span, ride_parent) = node.ride;
+    if ride_span != 0 {
+        core.emit_span(|| Span {
+            class: OpClass::CombineRide,
+            src,
+            dest,
+            issue_vtime: node.publish_vtime,
+            arrive_vtime: node.publish_vtime,
+            start_vtime: node.publish_vtime,
+            end_vtime: end + core.config.network.am_wire_ns,
+            tag: 0,
+            trace: ride_trace,
+            span: ride_span,
+            parent: ride_parent,
+        });
+    }
     // SAFETY: `done` was set with Release after the handler wrote the
     // panic cell; the Acquire loads above synchronize, and the node is
     // private again once done.
@@ -265,6 +300,20 @@ fn ship(core: &RuntimeCore, src: LocaleId, dest: LocaleId, batch: &[NodePtr]) {
         // message actually carried (the whole point of the layer).
         stats.record(crate::telemetry::OpClass::CombineOccupancy, n);
         let riders: Vec<NodePtr> = chunk.to_vec();
+        // Causal tracing: the bulk AM is parented under the *last* rider's
+        // CombineRide span — the AM's end (last rider's finish + reply
+        // wire) is exactly that ride's end, so the AM interval nests
+        // inside it. Each rider's thunk then runs under its *own* ride
+        // context, so spans a rider causes join the rider's trace, not the
+        // shipping combiner's.
+        // SAFETY (both reads): publishers are blocked until done.
+        let last_ride = unsafe { (*chunk.last().expect("non-empty chunk").0).ride };
+        let ship_ctx = (last_ride.1 != 0).then(|| {
+            trace::enter(Some(TraceCtx {
+                trace: last_ride.0,
+                span: last_ride.1,
+            }))
+        });
         // The combiner may have been elected while *its own* operation was
         // in an idempotent-class scope, but the batch carries other tasks'
         // riders (CAS publishes, deferred frees) that must execute exactly
@@ -287,7 +336,15 @@ fn ship(core: &RuntimeCore, src: LocaleId, dest: LocaleId, batch: &[NodePtr]) {
                             let thunk = (*rider.thunk.get())
                                 .take()
                                 .expect("combined operation executed twice");
-                            if let Err(payload) = catch_unwind(AssertUnwindSafe(thunk)) {
+                            let rctx = (rider.ride.1 != 0).then(|| {
+                                trace::enter(Some(TraceCtx {
+                                    trace: rider.ride.0,
+                                    span: rider.ride.1,
+                                }))
+                            });
+                            let out = catch_unwind(AssertUnwindSafe(thunk));
+                            drop(rctx);
+                            if let Err(payload) = out {
                                 *rider.panic.get() = Some(payload);
                             }
                             rider.end_vtime.store(vtime::now(), Ordering::Relaxed);
@@ -297,6 +354,7 @@ fn ship(core: &RuntimeCore, src: LocaleId, dest: LocaleId, batch: &[NodePtr]) {
                 }),
             );
         });
+        drop(ship_ctx);
     }
 }
 
@@ -465,7 +523,7 @@ mod tests {
             let q = CombineQueue::new();
             let total: usize = segments.iter().sum();
             let nodes: Vec<Box<OpNode>> = (0..total)
-                .map(|_| Box::new(OpNode::new(Box::new(|| {}), 0)))
+                .map(|_| Box::new(OpNode::new(Box::new(|| {}), 0, (0, 0, 0))))
                 .collect();
             let mut idx = 0;
             let mut drained: Vec<*const OpNode> = Vec::new();

@@ -128,7 +128,20 @@ pub struct Locale {
     /// straggler. Cached here at construction so progress threads read it
     /// without consulting the plan per message.
     pub(crate) am_slowdown: u64,
+    /// Causal-trace span-id sequence (see [`Locale::next_span_id`]). Only
+    /// ever bumped while a telemetry sink is installed.
+    span_seq: std::sync::atomic::AtomicU64,
+    /// Process-wide construction epoch of this locale (see
+    /// [`Locale::next_span_id`]): one trace file commonly covers *many*
+    /// runtimes (the harness builds one per data point), and per-runtime
+    /// sequences alone would reuse ids across them.
+    span_epoch: u64,
 }
+
+/// Process-wide count of [`Locale`] constructions, the `span_epoch`
+/// source. Deterministic for a deterministic program: runtimes (and their
+/// locales) are constructed in program order.
+static LOCALE_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Locale {
     pub(crate) fn new(
@@ -146,7 +159,26 @@ impl Locale {
             combine: CombineHub::new(num_locales),
             am_tx,
             am_slowdown,
+            span_seq: std::sync::atomic::AtomicU64::new(0),
+            span_epoch: LOCALE_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// Allocate a causal-trace span id on this locale. Ids pack the locale
+    /// into the top 16 bits, the locale's process-wide construction epoch
+    /// into the next 20, and a per-locale sequence into the low 28
+    /// (`(id + 1) << 48 | epoch << 28 | seq`), so they are unique across
+    /// locales *and* across every runtime the process builds, never zero
+    /// (0 means "no parent"), and — for a deterministic workload —
+    /// identical from run to run of the program. The sequence deliberately
+    /// survives [`Locale::reset_metrics`]: a trace file spans phase
+    /// resets, and reused ids would corrupt its trees.
+    pub(crate) fn next_span_id(&self) -> u64 {
+        let seq = self
+            .span_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        ((self.id as u64 + 1) << 48) | ((self.span_epoch & 0xf_ffff) << 28) | (seq & 0x0fff_ffff)
     }
 
     /// The furthest-ahead progress-service clock — i.e. when this locale's

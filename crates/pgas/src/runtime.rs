@@ -523,6 +523,32 @@ impl RuntimeCore {
         self.telemetry_sink.get()
     }
 
+    /// True when a telemetry sink is installed. Causal-trace id allocation
+    /// and context propagation are gated on this, so the default
+    /// (no-sink) path stays one `OnceLock::get`.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.telemetry_sink.get().is_some()
+    }
+
+    /// Allocate the causal-trace ids for a span emitted on `locale`:
+    /// `(trace, span, parent)`. Under an ambient
+    /// [`crate::telemetry::trace`] context the span joins that trace as a
+    /// child; otherwise it roots its own trace (`trace == span`,
+    /// `parent == 0`) — so every emitted span belongs to a rooted tree by
+    /// construction. All-zero (and allocation-free) when no sink is
+    /// installed.
+    pub fn span_ids(&self, locale: LocaleId) -> (u64, u64, u64) {
+        if !self.tracing() {
+            return (0, 0, 0);
+        }
+        let own = self.locale(locale).next_span_id();
+        match crate::telemetry::trace::current() {
+            Some(c) => (c.trace, own, c.span),
+            None => (own, own, 0),
+        }
+    }
+
     /// Build (lazily) and emit a [`Span`] to the installed sink. The
     /// closure is not even constructed into a span unless a sink is
     /// present.

@@ -19,7 +19,12 @@
 //!   bit-identically.
 //! * [`Span`] — one record per remote operation, stamped from the virtual
 //!   time points that already exist (issue → wire → queue → handle →
-//!   reply).
+//!   reply), plus the causal-trace triple `trace`/`span`/`parent`.
+//! * [`trace`] — the causal context ([`trace::TraceCtx`]) carried in a
+//!   thread-local and propagated across AM boundaries, so every span knows
+//!   which logical operation caused it.
+//! * [`OpSpan`] — an RAII root span opened by public structure/atomic
+//!   operations, tagged with op kind, key hash, and CAS-retry count.
 //! * [`Sink`] — where spans go: [`NullSink`] (zero-cost default — no sink
 //!   installed means one relaxed atomic load per op and nothing else),
 //!   [`RingSink`] (in-memory ring buffer for tests), [`JsonLinesSink`]
@@ -36,7 +41,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::ops::Deref;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,11 +98,33 @@ pub enum OpClass {
     Reclaim,
     /// Depth of a limbo list at the moment it was drained (object count).
     LimboDepth,
+    /// Root span of a public `DistStack` operation. Sample = whole-op
+    /// virtual duration; the span `tag` packs op kind, CAS-retry count and
+    /// key hash (see [`pack_op_tag`]).
+    StackOp,
+    /// Root span of a public `DistQueue` operation (tag as [`OpClass::StackOp`]).
+    QueueOp,
+    /// Root span of a public `DistList` operation (tag as [`OpClass::StackOp`]).
+    ListOp,
+    /// Root span of a public `DistHashMap` operation (tag as [`OpClass::StackOp`]).
+    MapOp,
+    /// Root span of a public `DistSkipList` operation (tag as [`OpClass::StackOp`]).
+    SkipListOp,
+    /// Root span of a public `RcuArray` operation (tag as [`OpClass::StackOp`]).
+    RcuArrayOp,
+    /// Root span of a public `AtomicObject`/`AtomicAbaObject` operation
+    /// (read/write/exchange/CAS/DCAS; tag as [`OpClass::StackOp`]).
+    AtomicObjectOp,
+    /// One rider's end-to-end trip through the flat-combining layer:
+    /// publish → executed on the destination → reply wire. Emitted by the
+    /// publishing task (see [`crate::engine::combine`]); the bulk AM that
+    /// carried the chunk nests under the *last* rider's span.
+    CombineRide,
 }
 
 impl OpClass {
     /// Number of classes (length of [`OpClass::ALL`]).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 21;
 
     /// Every class, in declaration order (the histogram index order).
     pub const ALL: [OpClass; OpClass::COUNT] = [
@@ -114,6 +141,14 @@ impl OpClass {
         OpClass::Retry,
         OpClass::Reclaim,
         OpClass::LimboDepth,
+        OpClass::StackOp,
+        OpClass::QueueOp,
+        OpClass::ListOp,
+        OpClass::MapOp,
+        OpClass::SkipListOp,
+        OpClass::RcuArrayOp,
+        OpClass::AtomicObjectOp,
+        OpClass::CombineRide,
     ];
 
     /// Stable snake_case name used as the JSON key for this class.
@@ -132,13 +167,244 @@ impl OpClass {
             OpClass::Retry => "retry",
             OpClass::Reclaim => "reclaim",
             OpClass::LimboDepth => "limbo_depth",
+            OpClass::StackOp => "stack_op",
+            OpClass::QueueOp => "queue_op",
+            OpClass::ListOp => "list_op",
+            OpClass::MapOp => "map_op",
+            OpClass::SkipListOp => "skiplist_op",
+            OpClass::RcuArrayOp => "rcu_array_op",
+            OpClass::AtomicObjectOp => "atomic_object_op",
+            OpClass::CombineRide => "combine_ride",
         }
+    }
+
+    /// Parse a class from its stable [`OpClass::name`].
+    pub fn from_name(name: &str) -> Option<OpClass> {
+        OpClass::ALL.iter().copied().find(|c| c.name() == name)
     }
 }
 
 impl fmt::Display for OpClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Causal trace context: the ambient `(trace id, parent span id)` pair a
+/// task carries in a thread-local and that the AM layer propagates across
+/// locale boundaries, so every emitted [`Span`] can name the logical
+/// operation that caused it.
+///
+/// Span ids are allocated from a per-locale counter salted with the
+/// locale's process-wide construction epoch
+/// (`(locale+1) << 48 | epoch << 28 | seq`), so ids are unique across
+/// locales and across every runtime the process builds, never zero, and —
+/// for a deterministic workload — identical from run to run of the
+/// program. Id `0` means "no parent" (the span roots its own trace).
+pub mod trace {
+    use std::cell::Cell;
+
+    /// The ambient causal context: which trace the current task is working
+    /// for, and which span is the current parent.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct TraceCtx {
+        /// Trace id — the span id of the trace's root span.
+        pub trace: u64,
+        /// The span id new child spans should name as their parent.
+        pub span: u64,
+    }
+
+    thread_local! {
+        static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+    }
+
+    /// The current task's trace context, if any.
+    #[inline]
+    pub fn current() -> Option<TraceCtx> {
+        CURRENT.with(|c| c.get())
+    }
+
+    /// Install `ctx` as the ambient trace context (or clear it with
+    /// `None`); the previous value is restored when the guard drops.
+    pub fn enter(ctx: Option<TraceCtx>) -> TraceGuard {
+        let prev = CURRENT.with(|c| c.replace(ctx));
+        TraceGuard { prev }
+    }
+
+    /// Restores the previous trace context on drop (see [`enter`]).
+    pub struct TraceGuard {
+        prev: Option<TraceCtx>,
+    }
+
+    impl Drop for TraceGuard {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.prev));
+        }
+    }
+}
+
+/// Op-kind constants packed into a root span's `tag` (see [`pack_op_tag`]).
+/// Stable small integers, shared by the structures and the trace analyzer.
+#[allow(missing_docs)] // names are self-describing; `name()` maps them back
+pub mod opkind {
+    pub const PUSH: u64 = 1;
+    pub const POP: u64 = 2;
+    pub const ENQUEUE: u64 = 3;
+    pub const DEQUEUE: u64 = 4;
+    pub const INSERT: u64 = 5;
+    pub const REMOVE: u64 = 6;
+    pub const CONTAINS: u64 = 7;
+    pub const GET: u64 = 8;
+    pub const READ: u64 = 9;
+    pub const WRITE: u64 = 10;
+    pub const GROW: u64 = 11;
+    pub const EXCHANGE: u64 = 12;
+    pub const CAS: u64 = 13;
+    pub const RANGE: u64 = 14;
+    pub const LEN: u64 = 15;
+    pub const BULK_INSERT: u64 = 16;
+    pub const BULK_GET: u64 = 17;
+
+    /// Human-readable name for a packed op kind (for the analyzer).
+    pub fn name(kind: u64) -> &'static str {
+        match kind {
+            PUSH => "push",
+            POP => "pop",
+            ENQUEUE => "enqueue",
+            DEQUEUE => "dequeue",
+            INSERT => "insert",
+            REMOVE => "remove",
+            CONTAINS => "contains",
+            GET => "get",
+            READ => "read",
+            WRITE => "write",
+            GROW => "grow",
+            EXCHANGE => "exchange",
+            CAS => "cas",
+            RANGE => "range",
+            LEN => "len",
+            BULK_INSERT => "bulk_insert",
+            BULK_GET => "bulk_get",
+            _ => "op",
+        }
+    }
+}
+
+/// Pack a root span's tag: bits 0–7 the [`opkind`] constant, bits 8–23 the
+/// CAS-retry count (saturated), bits 24–63 the low 40 bits of the key hash.
+#[inline]
+pub fn pack_op_tag(kind: u64, retries: u64, key_hash: u64) -> u64 {
+    (kind & 0xff) | (retries.min(0xffff) << 8) | ((key_hash & 0xff_ffff_ffff) << 24)
+}
+
+/// Unpack a root span tag into `(kind, retries, key_hash_low40)` — the
+/// inverse of [`pack_op_tag`], used by the trace analyzer.
+#[inline]
+pub fn unpack_op_tag(tag: u64) -> (u64, u64, u64) {
+    (tag & 0xff, (tag >> 8) & 0xffff, tag >> 24)
+}
+
+/// Deterministically hash a key for a root span's tag. Uses the std
+/// `DefaultHasher` with its fixed default keys, so the same key hashes the
+/// same in every run (traces stay bit-reproducible).
+pub fn key_hash64<K: std::hash::Hash + ?Sized>(key: &K) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// RAII root span for a public structure/atomic operation.
+///
+/// `start` stamps the issue vtime and — when a telemetry sink is installed —
+/// allocates a span id on the current locale, installs the matching
+/// [`trace::TraceCtx`] so every remote-op span emitted inside the operation
+/// nests under it, and on drop emits the root [`Span`] (src == dest ==
+/// issuing locale; `issue == arrive == start`) with its tag packing op
+/// kind, CAS-retry count, and key hash.
+///
+/// The per-class duration histogram is recorded unconditionally (histogram
+/// recording is always on, charges no vtime, touches no counters), so the
+/// zero-drift guarantee of the default [`NullSink`] path holds.
+///
+/// Off-runtime (no ambient PGAS context) the guard is inert.
+pub struct OpSpan {
+    class: OpClass,
+    kind: u64,
+    key_hash: u64,
+    retries: std::cell::Cell<u64>,
+    begin: u64,
+    ids: Option<(u64, u64, u64)>, // (trace, span, parent)
+    _guard: Option<trace::TraceGuard>,
+    active: bool,
+}
+
+impl OpSpan {
+    /// Open a root span for one `class` operation of kind `kind` (an
+    /// [`opkind`] constant) on key hash `key_hash` (0 when keyless).
+    pub fn start(class: OpClass, kind: u64, key_hash: u64) -> OpSpan {
+        let mut begin = 0;
+        let mut ids = None;
+        let mut guard = None;
+        let active = crate::ctx::try_with_core(|core, locale| {
+            begin = crate::vtime::now();
+            if core.tracing() {
+                let triple = core.span_ids(locale);
+                let (trace_id, own, _) = triple;
+                guard = Some(trace::enter(Some(trace::TraceCtx {
+                    trace: trace_id,
+                    span: own,
+                })));
+                ids = Some(triple);
+            }
+        })
+        .is_some();
+        OpSpan {
+            class,
+            kind,
+            key_hash,
+            retries: std::cell::Cell::new(0),
+            begin,
+            ids,
+            _guard: guard,
+            active,
+        }
+    }
+
+    /// Count one CAS-retry (or other optimistic-loop repeat) for the tag.
+    #[inline]
+    pub fn retry(&self) {
+        self.retries.set(self.retries.get() + 1);
+    }
+}
+
+impl Drop for OpSpan {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let _ = crate::ctx::try_with_core(|core, locale| {
+            let end = crate::vtime::now();
+            core.locale(locale)
+                .stats
+                .record(self.class, end.saturating_sub(self.begin));
+            if let Some((trace_id, own, parent)) = self.ids {
+                let tag = pack_op_tag(self.kind, self.retries.get(), self.key_hash);
+                core.emit_span(|| Span {
+                    class: self.class,
+                    src: locale,
+                    dest: locale,
+                    issue_vtime: self.begin,
+                    arrive_vtime: self.begin,
+                    start_vtime: self.begin,
+                    end_vtime: end,
+                    tag,
+                    trace: trace_id,
+                    span: own,
+                    parent,
+                });
+            }
+        });
     }
 }
 
@@ -434,8 +700,8 @@ impl TelemetrySnapshot {
     }
 
     /// Render the non-empty classes as a hand-rolled JSON object:
-    /// `{"am_round_trip": {"count": …, "p50": …, "p99": …, "max": …,
-    /// "mean": …}, …}`. Serde-free by design.
+    /// `{"am_round_trip": {"count": …, "p50": …, "p99": …, "p999": …,
+    /// "max": …, "mean": …}, …}`. Serde-free by design.
     pub fn latency_json(&self) -> String {
         let mut out = String::from("{");
         for (c, h) in self.nonempty() {
@@ -450,6 +716,8 @@ impl TelemetrySnapshot {
             out.push_str(&h.percentile(50.0).to_string());
             out.push_str(", \"p99\": ");
             out.push_str(&h.percentile(99.0).to_string());
+            out.push_str(", \"p999\": ");
+            out.push_str(&h.percentile(99.9).to_string());
             out.push_str(", \"max\": ");
             out.push_str(&h.max().to_string());
             out.push_str(", \"mean\": ");
@@ -495,9 +763,18 @@ pub struct Span {
     /// Virtual time the handler (or the operation) completed.
     pub end_vtime: u64,
     /// Class-specific tag: the fault decision index for
-    /// [`OpClass::Retry`], the occupancy for batch/combine spans, zero
-    /// otherwise.
+    /// [`OpClass::Retry`], the server-slot index for
+    /// [`OpClass::AmRoundTrip`], the packed op kind/retries/key hash for
+    /// root spans (see [`pack_op_tag`]), zero otherwise.
     pub tag: u64,
+    /// Trace id: the span id of this span's root. Zero when tracing is off
+    /// (no sink installed when the span was stamped).
+    pub trace: u64,
+    /// This span's id — unique per run, allocated from a per-locale
+    /// counter. Zero when tracing is off.
+    pub span: u64,
+    /// Parent span id; zero for a root span.
+    pub parent: u64,
 }
 
 impl Span {
@@ -505,7 +782,8 @@ impl Span {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"class\": \"{}\", \"src\": {}, \"dest\": {}, \"issue\": {}, \
-             \"arrive\": {}, \"start\": {}, \"end\": {}, \"tag\": {}}}",
+             \"arrive\": {}, \"start\": {}, \"end\": {}, \"tag\": {}, \
+             \"trace\": {}, \"span\": {}, \"parent\": {}}}",
             self.class.name(),
             self.src,
             self.dest,
@@ -513,7 +791,10 @@ impl Span {
             self.arrive_vtime,
             self.start_vtime,
             self.end_vtime,
-            self.tag
+            self.tag,
+            self.trace,
+            self.span,
+            self.parent
         )
     }
 }
@@ -540,6 +821,13 @@ impl Sink for NullSink {
 
 /// An in-memory ring buffer of the most recent `capacity` spans, for
 /// tests.
+///
+/// **Full-buffer semantics: oldest-dropped.** Recording into a full ring
+/// evicts the oldest buffered span and always accepts the new one — a
+/// trace's most recent history is what post-mortem debugging wants, and a
+/// sink that silently *rejects* new spans would bias every tail-latency
+/// question toward the warm-up phase. Asserted by
+/// `ring_sink_full_buffer_drops_oldest_never_rejects`.
 #[derive(Debug)]
 pub struct RingSink {
     capacity: usize,
@@ -586,11 +874,27 @@ impl Sink for RingSink {
 }
 
 /// Writes one hand-rolled JSON object per span, newline-delimited, to a
-/// file — the harness trace format. Buffered; flushed on [`Sink::flush`]
-/// and on drop.
+/// file — the harness trace format.
+///
+/// Spans are buffered in memory and written at flush (or drop) time
+/// **sorted by `(issue vtime, span id)`**: raw emission order races
+/// between progress threads and the senders their replies unblock, so
+/// arrival order is scheduling-dependent even for fully deterministic
+/// workloads. The sort keys are pure vtime/counter values, so a
+/// deterministic run produces a bit-identical trace file (the bench
+/// crate's determinism test asserts this). Flush once, at the end of the
+/// run: each flush sorts only the spans buffered since the previous one.
 #[derive(Debug)]
 pub struct JsonLinesSink {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<JsonLinesInner>,
+}
+
+#[derive(Debug)]
+struct JsonLinesInner {
+    file: File,
+    /// `(issue vtime, span id, rendered line)` — the canonical sort key
+    /// plus the line it orders.
+    pending: Vec<(u64, u64, String)>,
 }
 
 impl JsonLinesSink {
@@ -598,22 +902,49 @@ impl JsonLinesSink {
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = File::create(path)?;
         Ok(JsonLinesSink {
-            out: Mutex::new(BufWriter::new(file)),
+            out: Mutex::new(JsonLinesInner {
+                file,
+                pending: Vec::new(),
+            }),
         })
+    }
+
+    /// Flush buffered spans, *returning* the I/O error instead of
+    /// swallowing it like the infallible [`Sink::flush`] does. Callers that
+    /// care whether the trace actually hit the disk (the harness at exit)
+    /// should use this. Buffered spans stay queued if the write fails.
+    pub fn try_flush(&self) -> std::io::Result<()> {
+        let mut inner = self
+            .out
+            .lock()
+            .map_err(|_| std::io::Error::other("trace writer poisoned"))?;
+        let JsonLinesInner { file, pending } = &mut *inner;
+        if pending.is_empty() {
+            return file.flush();
+        }
+        pending.sort_unstable();
+        let mut out = String::with_capacity(pending.iter().map(|p| p.2.len() + 1).sum());
+        for (_, _, line) in pending.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        file.write_all(out.as_bytes())?;
+        pending.clear();
+        file.flush()
     }
 }
 
 impl Sink for JsonLinesSink {
     fn record(&self, span: &Span) {
-        if let Ok(mut w) = self.out.lock() {
-            let _ = writeln!(w, "{}", span.to_json());
+        if let Ok(mut inner) = self.out.lock() {
+            inner
+                .pending
+                .push((span.issue_vtime, span.span, span.to_json()));
         }
     }
 
     fn flush(&self) {
-        if let Ok(mut w) = self.out.lock() {
-            let _ = w.flush();
-        }
+        let _ = self.try_flush();
     }
 }
 
@@ -715,10 +1046,8 @@ mod tests {
         assert!(!j.contains("rdma_atomic"));
     }
 
-    #[test]
-    fn ring_sink_keeps_most_recent() {
-        let ring = RingSink::new(2);
-        let mk = |tag| Span {
+    fn mk_span(tag: u64) -> Span {
+        Span {
             class: OpClass::AmService,
             src: 0,
             dest: 1,
@@ -727,14 +1056,71 @@ mod tests {
             start_vtime: 700,
             end_vtime: 1800,
             tag,
-        };
+            trace: 0,
+            span: 0,
+            parent: 0,
+        }
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let ring = RingSink::new(2);
         for t in 0..5 {
-            ring.record(&mk(t));
+            ring.record(&mk_span(t));
         }
         assert_eq!(ring.len(), 2);
         let spans = ring.take();
         assert!(ring.is_empty());
         assert_eq!(spans.iter().map(|s| s.tag).collect::<Vec<_>>(), [3, 4]);
+    }
+
+    #[test]
+    fn ring_sink_full_buffer_drops_oldest_never_rejects() {
+        // The documented full-buffer contract: a full ring evicts the
+        // *oldest* span and always accepts the new one. Every record call
+        // must land, and after N > capacity records the buffer holds the
+        // last `capacity` spans in order.
+        let cap = 3;
+        let ring = RingSink::new(cap);
+        for t in 0..10u64 {
+            ring.record(&mk_span(t));
+            assert!(
+                ring.len() <= cap,
+                "ring must never exceed its capacity ({cap})"
+            );
+            // The newest span was accepted, not rejected.
+            assert_eq!(ring.len(), (t as usize + 1).min(cap));
+        }
+        let tags: Vec<u64> = ring.take().iter().map(|s| s.tag).collect();
+        assert_eq!(tags, [7, 8, 9], "oldest spans dropped, newest kept");
+    }
+
+    #[test]
+    fn json_lines_sink_try_flush_reports_io_errors() {
+        // Happy path: a writable file flushes cleanly.
+        let path = std::env::temp_dir().join(format!(
+            "pgas_trace_flush_test_{}.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonLinesSink::create(&path).unwrap();
+        sink.record(&mk_span(1));
+        assert!(sink.try_flush().is_ok());
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+
+        // Error path: /dev/full accepts the open but fails the flush with
+        // ENOSPC, which try_flush must surface (the Sink::flush impl
+        // swallows it by contract).
+        #[cfg(target_os = "linux")]
+        {
+            let sink = JsonLinesSink::create("/dev/full").unwrap();
+            // More than the BufWriter could absorb silently on flush.
+            sink.record(&mk_span(2));
+            let err = sink
+                .try_flush()
+                .expect_err("/dev/full flush must report ENOSPC");
+            assert_eq!(err.raw_os_error(), Some(28), "expected ENOSPC: {err}");
+        }
     }
 
     #[test]
@@ -748,13 +1134,125 @@ mod tests {
             start_vtime: 30,
             end_vtime: 40,
             tag: 7,
+            trace: 99,
+            span: 100,
+            parent: 99,
         };
         let j = s.to_json();
         assert_eq!(
             j,
             "{\"class\": \"retry\", \"src\": 3, \"dest\": 0, \"issue\": 10, \
-             \"arrive\": 20, \"start\": 30, \"end\": 40, \"tag\": 7}"
+             \"arrive\": 20, \"start\": 30, \"end\": 40, \"tag\": 7, \
+             \"trace\": 99, \"span\": 100, \"parent\": 99}"
         );
+    }
+
+    #[test]
+    fn op_tag_packs_and_unpacks() {
+        let tag = pack_op_tag(opkind::ENQUEUE, 5, 0xdead_beef_cafe);
+        let (kind, retries, hash) = unpack_op_tag(tag);
+        assert_eq!(kind, opkind::ENQUEUE);
+        assert_eq!(retries, 5);
+        assert_eq!(hash, 0xdead_beef_cafe & 0xff_ffff_ffff);
+        // Retries saturate rather than bleed into the hash bits.
+        let (_, r, h) = unpack_op_tag(pack_op_tag(opkind::POP, u64::MAX, 0));
+        assert_eq!(r, 0xffff);
+        assert_eq!(h, 0);
+    }
+
+    #[test]
+    fn key_hash_is_deterministic() {
+        assert_eq!(key_hash64(&42u64), key_hash64(&42u64));
+        assert_ne!(key_hash64(&42u64), key_hash64(&43u64));
+    }
+
+    #[test]
+    fn trace_ctx_enter_nests_and_restores() {
+        use super::trace::{current, enter, TraceCtx};
+        assert_eq!(current(), None);
+        {
+            let _g1 = enter(Some(TraceCtx { trace: 1, span: 1 }));
+            assert_eq!(current(), Some(TraceCtx { trace: 1, span: 1 }));
+            {
+                let _g2 = enter(Some(TraceCtx { trace: 1, span: 2 }));
+                assert_eq!(current().unwrap().span, 2);
+            }
+            assert_eq!(current().unwrap().span, 1);
+            {
+                let _g3 = enter(None);
+                assert_eq!(current(), None);
+            }
+            assert_eq!(current().unwrap().span, 1);
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn percentile_single_sample_edges() {
+        // Bucket-boundary edge values: a single-sample histogram must
+        // report that exact sample at every percentile (the bucket upper
+        // bound is clamped by the exact max).
+        for v in [0u64, 1, 2, 3, u64::MAX] {
+            let h = Histogram::default();
+            h.record(v);
+            let s = h.snapshot();
+            for p in [0.0, 0.1, 50.0, 99.0, 99.9, 100.0] {
+                assert_eq!(s.percentile(p), v, "single sample {v} at p{p}");
+            }
+        }
+    }
+
+    mod percentile_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn monotone_in_p(
+                samples in proptest::collection::vec(0u64..=u64::MAX, 1..64),
+                // Permille points, mapped to f64 percentiles below (the
+                // vendored proptest has no float range strategy).
+                mut ps_permille in proptest::collection::vec(0u64..=1000, 2..8),
+            ) {
+                let h = Histogram::default();
+                for &v in &samples {
+                    h.record(v);
+                }
+                let s = h.snapshot();
+                ps_permille.sort_unstable();
+                let ps: Vec<f64> = ps_permille.iter().map(|&m| m as f64 / 10.0).collect();
+                for w in ps.windows(2) {
+                    prop_assert!(
+                        s.percentile(w[0]) <= s.percentile(w[1]),
+                        "p{} -> {} must be <= p{} -> {}",
+                        w[0], s.percentile(w[0]), w[1], s.percentile(w[1]),
+                    );
+                }
+            }
+
+            #[test]
+            fn agrees_with_sorted_vec_reference(
+                samples in proptest::collection::vec(0u64..100_000, 1..40),
+                p_permille in 0u64..=1000,
+            ) {
+                let p = p_permille as f64 / 10.0;
+                let h = Histogram::default();
+                for &v in &samples {
+                    h.record(v);
+                }
+                let s = h.snapshot();
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+                let exact = sorted[rank - 1];
+                // The estimate is exactly the inclusive upper bound of the
+                // log2 bucket holding the rank-th sample, clamped by the
+                // true maximum — never below the exact answer.
+                let est = s.percentile(p);
+                prop_assert!(est >= exact);
+                prop_assert_eq!(est, bucket_upper(bucket_of(exact)).min(s.max()));
+            }
+        }
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //! proves `pred` was still in the list — and therefore so was `curr`,
 //! which cannot have been retired.
 
+use std::hash::Hash;
+
 use pgas_atomics::AtomicObject;
 use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
+use pgas_sim::telemetry::{key_hash64, opkind, OpClass, OpSpan};
 use pgas_sim::{alloc_local, ctx, GlobalPtr};
 
 /// One list cell. `next` carries the Harris mark bit. The key is
@@ -42,17 +45,17 @@ impl<K: Copy> Node<K> {
 
 /// A lock-free sorted set keyed by `K`, generic over its reclamation
 /// backend.
-pub struct LockFreeList<K: Ord + Copy + Send, R: Reclaimer = EpochManager> {
+pub struct LockFreeList<K: Ord + Copy + Hash + Send, R: Reclaimer = EpochManager> {
     /// Sentinel node; never removed, its key is never examined.
     head: GlobalPtr<Node<K>>,
     em: R,
 }
 
 // SAFETY: shared state is atomics + the reclaimer; keys are Copy + Send.
-unsafe impl<K: Ord + Copy + Send, R: Reclaimer> Send for LockFreeList<K, R> {}
-unsafe impl<K: Ord + Copy + Send, R: Reclaimer> Sync for LockFreeList<K, R> {}
+unsafe impl<K: Ord + Copy + Hash + Send, R: Reclaimer> Send for LockFreeList<K, R> {}
+unsafe impl<K: Ord + Copy + Hash + Send, R: Reclaimer> Sync for LockFreeList<K, R> {}
 
-impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
+impl<K: Ord + Copy + Hash + Send + 'static> LockFreeList<K> {
     /// Create an empty set homed on the current locale, with the default
     /// epoch-based backend.
     pub fn new() -> LockFreeList<K> {
@@ -65,7 +68,7 @@ impl<K: Ord + Copy + Send + 'static> LockFreeList<K> {
     }
 }
 
-impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
+impl<K: Ord + Copy + Hash + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
     /// Create an empty set using reclamation backend `R`.
     pub fn with_reclaimer() -> LockFreeList<K, R> {
         let rt = ctx::current_runtime();
@@ -144,6 +147,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
 
     /// Insert `key`; returns `false` if already present.
     pub fn insert(&self, tok: &R::Guard<'_>, key: K) -> bool {
+        let span = OpSpan::start(OpClass::ListOp, opkind::INSERT, key_hash64(&key));
         tok.pin();
         let result = loop {
             let (pred, curr) = self.search(tok, &key);
@@ -164,6 +168,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
             }
             // Lost the race; the node was never published — free eagerly.
             unsafe { pgas_sim::free(&ctx::current_runtime(), node) };
+            span.retry();
         };
         tok.release(0);
         tok.release(1);
@@ -173,6 +178,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
 
     /// Remove `key`; returns `false` if absent.
     pub fn remove(&self, tok: &R::Guard<'_>, key: K) -> bool {
+        let span = OpSpan::start(OpClass::ListOp, opkind::REMOVE, key_hash64(&key));
         tok.pin();
         let result = loop {
             let (pred, curr) = self.search(tok, &key);
@@ -182,10 +188,12 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
             let curr_ref = unsafe { curr.deref() };
             let succ = curr_ref.next.read();
             if succ.is_marked() {
+                span.retry();
                 continue; // someone else is deleting it; re-search
             }
             // Logical removal: mark the outgoing link.
             if !curr_ref.next.compare_and_swap(succ, succ.with_mark()) {
+                span.retry();
                 continue;
             }
             // Physical removal: unlink. On failure, run Harris's
@@ -213,6 +221,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
     /// Membership test. Does not modify the list (no snipping), so it is
     /// read-only with respect to communication.
     pub fn contains(&self, tok: &R::Guard<'_>, key: K) -> bool {
+        let _span = OpSpan::start(OpClass::ListOp, opkind::CONTAINS, key_hash64(&key));
         tok.pin();
         let found = 'retry: loop {
             // SAFETY: sentinel, never reclaimed.
@@ -263,6 +272,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
 
     /// Number of unmarked nodes (racy; exact in quiescence).
     pub fn len(&self) -> usize {
+        let _span = OpSpan::start(OpClass::ListOp, opkind::LEN, 0);
         if R::NEEDS_PROTECT {
             let g = self.em.register();
             g.pin();
@@ -335,13 +345,13 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeList<K, R> {
     }
 }
 
-impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Default for LockFreeList<K, R> {
+impl<K: Ord + Copy + Hash + Send + 'static, R: Reclaimer> Default for LockFreeList<K, R> {
     fn default() -> Self {
         Self::with_reclaimer()
     }
 }
 
-impl<K: Ord + Copy + Send, R: Reclaimer> Drop for LockFreeList<K, R> {
+impl<K: Ord + Copy + Hash + Send, R: Reclaimer> Drop for LockFreeList<K, R> {
     fn drop(&mut self) {
         let teardown = || {
             let rt = ctx::current_runtime();

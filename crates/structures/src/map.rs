@@ -27,6 +27,7 @@ use std::sync::Mutex;
 use pgas_atomics::AtomicObject;
 use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
 use pgas_sim::engine::DEFAULT_BUFFER_CAP;
+use pgas_sim::telemetry::{key_hash64, opkind, OpClass, OpSpan};
 use pgas_sim::{alloc_local, alloc_on, ctx, Batcher, GlobalPtr, LocaleId};
 
 /// One chain cell.
@@ -228,6 +229,7 @@ where
     /// key is already present.
     pub fn insert(&self, tok: &R::Guard<'_>, key: K, value: V) -> bool {
         let hash = hash_key(&key);
+        let span = OpSpan::start(OpClass::MapOp, opkind::INSERT, hash);
         let sentinel = self.bucket_for(hash);
         tok.pin();
         // `kv` owns the pair until it moves into a node exactly once.
@@ -280,6 +282,7 @@ where
             if unsafe { pred.deref() }.next.compare_and_swap(curr, n) {
                 break true;
             }
+            span.retry();
         };
         tok.release(0);
         tok.release(1);
@@ -290,6 +293,7 @@ where
     /// Look up `key`, cloning the value out under the pin.
     pub fn get(&self, tok: &R::Guard<'_>, key: &K) -> Option<V> {
         let hash = hash_key(key);
+        let _span = OpSpan::start(OpClass::MapOp, opkind::GET, hash);
         let sentinel = self.bucket_for(hash);
         tok.pin();
         // Read-only walk (no snipping), like `contains` in the list.
@@ -342,6 +346,7 @@ where
 
     /// True when `key` is present.
     pub fn contains_key(&self, tok: &R::Guard<'_>, key: &K) -> bool {
+        let _span = OpSpan::start(OpClass::MapOp, opkind::CONTAINS, key_hash64(key));
         self.get(tok, key).is_some()
     }
 
@@ -357,6 +362,7 @@ where
     /// Returns the number of pairs actually inserted
     /// (duplicates of existing keys are dropped, as in [`Self::insert`]).
     pub fn insert_bulk(&self, pairs: Vec<(K, V)>) -> usize {
+        let _span = OpSpan::start(OpClass::MapOp, opkind::BULK_INSERT, 0);
         let rt = ctx::current_runtime();
         let inserted = AtomicUsize::new(0);
         let mut batcher = Batcher::new(&rt, DEFAULT_BUFFER_CAP, |_, batch: Vec<(K, V)>| {
@@ -384,6 +390,7 @@ where
     /// and lookups execute on the locale that owns the bucket chain.
     /// Returns the values (or `None`) aligned with the input order.
     pub fn get_bulk(&self, keys: Vec<K>) -> Vec<Option<V>> {
+        let _span = OpSpan::start(OpClass::MapOp, opkind::BULK_GET, 0);
         let rt = ctx::current_runtime();
         let results: Vec<Mutex<Option<V>>> = keys.iter().map(|_| Mutex::new(None)).collect();
         let mut batcher = Batcher::new(&rt, DEFAULT_BUFFER_CAP, |_, batch: Vec<(usize, K)>| {
@@ -412,6 +419,7 @@ where
     /// Remove `key`; returns `true` when it was present.
     pub fn remove(&self, tok: &R::Guard<'_>, key: &K) -> bool {
         let hash = hash_key(key);
+        let span = OpSpan::start(OpClass::MapOp, opkind::REMOVE, hash);
         let sentinel = self.bucket_for(hash);
         tok.pin();
         let result = loop {
@@ -423,9 +431,11 @@ where
             let curr_ref = unsafe { curr.deref() };
             let succ = curr_ref.next.read();
             if succ.is_marked() {
+                span.retry();
                 continue;
             }
             if !curr_ref.next.compare_and_swap(succ, succ.with_mark()) {
+                span.retry();
                 continue;
             }
             if unsafe { pred.deref() }
@@ -451,6 +461,7 @@ where
 
     /// Entry count (racy; exact in quiescence).
     pub fn len(&self) -> usize {
+        let _span = OpSpan::start(OpClass::MapOp, opkind::LEN, 0);
         if R::NEEDS_PROTECT {
             let g = self.em.register();
             g.pin();

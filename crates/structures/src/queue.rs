@@ -19,6 +19,7 @@ use std::mem::ManuallyDrop;
 
 use pgas_atomics::{AtomicAbaObject, AtomicObject};
 use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
+use pgas_sim::telemetry::{opkind, OpClass, OpSpan};
 use pgas_sim::{alloc_local, ctx, GlobalPtr};
 
 /// One queue cell. The node at `head` is always a dummy whose value has
@@ -78,6 +79,7 @@ impl<T: Send, R: Reclaimer> MsQueue<T, R> {
 
     /// Append `value` at the tail.
     pub fn enqueue(&self, tok: &R::Guard<'_>, value: T) {
+        let span = OpSpan::start(OpClass::QueueOp, opkind::ENQUEUE, 0);
         tok.pin();
         let node = alloc_local(
             &ctx::current_runtime(),
@@ -105,6 +107,8 @@ impl<T: Send, R: Reclaimer> MsQueue<T, R> {
                 // Tail is lagging: help it forward.
                 let _ = self.tail.compare_and_swap_aba(tail_snap, next);
             }
+            // Reached only when the link CAS failed or the tail lagged.
+            span.retry();
         }
         tok.release(0);
         tok.unpin();
@@ -112,6 +116,7 @@ impl<T: Send, R: Reclaimer> MsQueue<T, R> {
 
     /// Remove and return the oldest value, or `None` when empty.
     pub fn dequeue(&self, tok: &R::Guard<'_>) -> Option<T> {
+        let span = OpSpan::start(OpClass::QueueOp, opkind::DEQUEUE, 0);
         tok.pin();
         let result = loop {
             let head_snap = tok.protect_root_aba(0, &self.head);
@@ -135,6 +140,7 @@ impl<T: Send, R: Reclaimer> MsQueue<T, R> {
                 // having moved validates the hazard (FIFO: `next` cannot
                 // be retired before `head` is).
                 if !tok.protect_ptr(1, next, || self.head.read_aba() == head_snap) {
+                    span.retry();
                     continue;
                 }
                 if self.head.compare_and_swap_aba(head_snap, next) {
@@ -150,6 +156,7 @@ impl<T: Send, R: Reclaimer> MsQueue<T, R> {
                     tok.defer_delete(head);
                     break Some(value);
                 }
+                span.retry();
             }
         };
         tok.release(0);
@@ -160,6 +167,7 @@ impl<T: Send, R: Reclaimer> MsQueue<T, R> {
 
     /// Racy emptiness check (exact only in quiescence).
     pub fn is_empty(&self) -> bool {
+        let _span = OpSpan::start(OpClass::QueueOp, opkind::LEN, 0);
         if R::NEEDS_PROTECT {
             let g = self.em.register();
             g.pin();

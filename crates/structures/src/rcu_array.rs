@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use pgas_atomics::AtomicObject;
 use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
+use pgas_sim::telemetry::{opkind, OpClass, OpSpan};
 use pgas_sim::{alloc_local, alloc_on, ctx, engine, GlobalPtr, LocaleId};
 
 /// One fixed-size block of cells, owned by a single locale.
@@ -106,6 +107,7 @@ impl<R: Reclaimer> RcuArray<R> {
 
     /// Logical length of the current snapshot.
     pub fn len(&self) -> usize {
+        let _span = OpSpan::start(OpClass::RcuArrayOp, opkind::LEN, 0);
         if R::NEEDS_PROTECT {
             let g = self.em.register();
             g.pin();
@@ -137,6 +139,7 @@ impl<R: Reclaimer> RcuArray<R> {
     /// # Panics
     /// If `i` is out of bounds of the current snapshot.
     pub fn read(&self, tok: &R::Guard<'_>, i: usize) -> u64 {
+        let _span = OpSpan::start(OpClass::RcuArrayOp, opkind::READ, i as u64);
         tok.pin();
         let v = ctx::with_core(|core, _| {
             // SAFETY: protected — pinned (EBR) or hazard-validated (HP).
@@ -154,6 +157,7 @@ impl<R: Reclaimer> RcuArray<R> {
 
     /// Write element `i` under the token's protection.
     pub fn write(&self, tok: &R::Guard<'_>, i: usize, v: u64) {
+        let _span = OpSpan::start(OpClass::RcuArrayOp, opkind::WRITE, i as u64);
         tok.pin();
         ctx::with_core(|core, _| {
             // SAFETY: as in `read`.
@@ -173,6 +177,7 @@ impl<R: Reclaimer> RcuArray<R> {
     /// retries on top of the winner's table. Returns the resulting
     /// length.
     pub fn grow(&self, tok: &R::Guard<'_>, new_len: usize) -> usize {
+        let span = OpSpan::start(OpClass::RcuArrayOp, opkind::GROW, new_len as u64);
         tok.pin();
         let result = loop {
             let cur_ptr = tok.protect_root(0, &self.table);
@@ -209,6 +214,7 @@ impl<R: Reclaimer> RcuArray<R> {
                 }
                 pgas_sim::free(&rt, new_table);
             }
+            span.retry();
         };
         tok.release(0);
         tok.unpin();

@@ -31,8 +31,11 @@
 //! relinks); A8 quantifies what the cap costs HP in exchange for stall
 //! tolerance.
 
+use std::hash::Hash;
+
 use pgas_atomics::AtomicObject;
 use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
+use pgas_sim::telemetry::{key_hash64, opkind, OpClass, OpSpan};
 use pgas_sim::{alloc_local, ctx, GlobalPtr};
 
 /// Maximum tower height (supports ~2^16 elements at p = 1/2 comfortably).
@@ -70,14 +73,14 @@ fn height_for(addr: usize) -> usize {
 
 /// A lock-free sorted set with expected-logarithmic operations (under
 /// EBR; see the module docs for the hazard-pointer height cap).
-pub struct LockFreeSkipList<K: Ord + Copy + Send + 'static, R: Reclaimer = EpochManager> {
+pub struct LockFreeSkipList<K: Ord + Copy + Hash + Send + 'static, R: Reclaimer = EpochManager> {
     head: GlobalPtr<Node<K>>,
     em: R,
 }
 
 // SAFETY: shared state is atomic towers plus the reclaimer.
-unsafe impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Send for LockFreeSkipList<K, R> {}
-unsafe impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Sync for LockFreeSkipList<K, R> {}
+unsafe impl<K: Ord + Copy + Hash + Send + 'static, R: Reclaimer> Send for LockFreeSkipList<K, R> {}
+unsafe impl<K: Ord + Copy + Hash + Send + 'static, R: Reclaimer> Sync for LockFreeSkipList<K, R> {}
 
 type FindResult<K> = (
     [GlobalPtr<Node<K>>; MAX_HEIGHT],
@@ -85,7 +88,7 @@ type FindResult<K> = (
     bool,
 );
 
-impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
+impl<K: Ord + Copy + Hash + Send + 'static> LockFreeSkipList<K> {
     /// An empty set homed on the current locale, with the default
     /// epoch-based backend.
     pub fn new() -> LockFreeSkipList<K> {
@@ -98,7 +101,7 @@ impl<K: Ord + Copy + Send + 'static> LockFreeSkipList<K> {
     }
 }
 
-impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
+impl<K: Ord + Copy + Hash + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
     /// An empty set using reclamation backend `R`.
     pub fn with_reclaimer() -> LockFreeSkipList<K, R> {
         let head = alloc_local(
@@ -202,6 +205,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
 
     /// Insert `key`; `false` if already present.
     pub fn insert(&self, tok: &R::Guard<'_>, key: K) -> bool {
+        let span = OpSpan::start(OpClass::SkipListOp, opkind::INSERT, key_hash64(&key));
         tok.pin();
         let result = 'outer: loop {
             let (mut preds, mut succs, found) = self.find(tok, &key);
@@ -231,6 +235,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
                     (*node.as_ptr()).key.assume_init_drop();
                     pgas_sim::free(&ctx::current_runtime(), node);
                 }
+                span.retry();
                 continue 'outer;
             }
             // Link the index levels (best effort; removal may intervene).
@@ -276,6 +281,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
 
     /// Remove `key`; `false` if absent.
     pub fn remove(&self, tok: &R::Guard<'_>, key: K) -> bool {
+        let _span = OpSpan::start(OpClass::SkipListOp, opkind::REMOVE, key_hash64(&key));
         tok.pin();
         let result = self.remove_pinned(tok, key);
         tok.release(0);
@@ -324,6 +330,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
 
     /// Membership test (read-only: no snipping).
     pub fn contains(&self, tok: &R::Guard<'_>, key: K) -> bool {
+        let _span = OpSpan::start(OpClass::SkipListOp, opkind::CONTAINS, key_hash64(&key));
         tok.pin();
         let found = 'retry: loop {
             let mut pred = self.head;
@@ -387,6 +394,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
     /// removed concurrently may or may not appear, as with any lock-free
     /// range scan).
     pub fn collect_range(&self, tok: &R::Guard<'_>, lo: K, hi: K) -> Vec<K> {
+        let _span = OpSpan::start(OpClass::SkipListOp, opkind::RANGE, key_hash64(&lo));
         tok.pin();
         let out = 'retry: loop {
             let mut out = Vec::new();
@@ -475,6 +483,7 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
 
     /// Number of present keys (racy; exact in quiescence).
     pub fn len(&self) -> usize {
+        let _span = OpSpan::start(OpClass::SkipListOp, opkind::LEN, 0);
         if R::NEEDS_PROTECT {
             let g = self.em.register();
             g.pin();
@@ -547,13 +556,13 @@ impl<K: Ord + Copy + Send + 'static, R: Reclaimer> LockFreeSkipList<K, R> {
     }
 }
 
-impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Default for LockFreeSkipList<K, R> {
+impl<K: Ord + Copy + Hash + Send + 'static, R: Reclaimer> Default for LockFreeSkipList<K, R> {
     fn default() -> Self {
         Self::with_reclaimer()
     }
 }
 
-impl<K: Ord + Copy + Send + 'static, R: Reclaimer> Drop for LockFreeSkipList<K, R> {
+impl<K: Ord + Copy + Hash + Send + 'static, R: Reclaimer> Drop for LockFreeSkipList<K, R> {
     fn drop(&mut self) {
         let teardown = || {
             let rt = ctx::current_runtime();

@@ -19,6 +19,7 @@ use std::mem::ManuallyDrop;
 
 use pgas_atomics::AtomicAbaObject;
 use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
+use pgas_sim::telemetry::{opkind, OpClass, OpSpan};
 use pgas_sim::{alloc_local, ctx, GlobalPtr};
 
 /// One stack cell.
@@ -71,6 +72,7 @@ impl<T: Send, R: Reclaimer> LockFreeStack<T, R> {
     /// pointers: the new node is unpublished and the head is never
     /// dereferenced.
     pub fn push(&self, tok: &R::Guard<'_>, value: T) {
+        let span = OpSpan::start(OpClass::StackOp, opkind::PUSH, 0);
         tok.pin();
         let node = alloc_local(
             &ctx::current_runtime(),
@@ -86,6 +88,7 @@ impl<T: Send, R: Reclaimer> LockFreeStack<T, R> {
             if self.head.compare_and_swap_aba(old_head, node) {
                 break;
             }
+            span.retry();
         }
         tok.unpin();
     }
@@ -93,6 +96,7 @@ impl<T: Send, R: Reclaimer> LockFreeStack<T, R> {
     /// Pop the top value, or `None` when empty. The removed node is
     /// deferred to the reclaimer.
     pub fn pop(&self, tok: &R::Guard<'_>) -> Option<T> {
+        let span = OpSpan::start(OpClass::StackOp, opkind::POP, 0);
         tok.pin();
         let result = loop {
             // Under HP this publishes+validates the head in slot 0; under
@@ -112,6 +116,7 @@ impl<T: Send, R: Reclaimer> LockFreeStack<T, R> {
                 tok.defer_delete(top);
                 break Some(value);
             }
+            span.retry();
         };
         tok.release(0);
         tok.unpin();
@@ -120,6 +125,7 @@ impl<T: Send, R: Reclaimer> LockFreeStack<T, R> {
 
     /// Racy emptiness check (exact only in quiescence).
     pub fn is_empty(&self) -> bool {
+        let _span = OpSpan::start(OpClass::StackOp, opkind::LEN, 0);
         self.head.read().is_null()
     }
 
