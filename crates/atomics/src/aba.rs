@@ -22,12 +22,14 @@
 //! is no room left for a counter — matching the paper, whose ABA wrapper
 //! is defined over compressed pointers.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pgas_sim::engine::{self, AtomicPath};
 use pgas_sim::telemetry::{opkind, OpClass, OpSpan};
 use pgas_sim::{ctx, GlobalPtr, LocaleId, PointerMode};
 use portable_atomic::AtomicU128;
+
+use crate::seqlock;
 
 /// A snapshot of an [`AtomicAbaObject`]: the object reference plus the
 /// counter value observed with it.
@@ -96,6 +98,12 @@ fn unpack<T>(bits: u128) -> Aba<T> {
 /// `{compressed pointer, counter}` pair).
 pub struct AtomicAbaObject<T> {
     cell: AtomicU128,
+    /// Seqlock word for the versioned fast-read path (see
+    /// [`crate::seqlock`]): odd while a writer's DCAS is in flight, bumped
+    /// to even on completion. Maintained unconditionally (the stores are
+    /// free), consulted only when
+    /// [`pgas_sim::RuntimeConfig::vread_fastpath`] is enabled.
+    seq: AtomicU64,
     owner: LocaleId,
     _marker: std::marker::PhantomData<*mut T>,
 }
@@ -126,11 +134,14 @@ impl<T> AtomicAbaObject<T> {
             assert!(
                 core.config.pointer_mode == PointerMode::Compressed,
                 "ABA protection requires compressed pointers; wide mode \
-                 leaves no room for the adjacent counter"
+                 (RuntimeConfig::with_wide_pointers / PointerMode::Wide) \
+                 leaves no room for the adjacent counter — configure \
+                 PointerMode::Compressed to use ABA cells"
             );
         });
         AtomicAbaObject {
             cell: AtomicU128::new(pack(ptr, 0)),
+            seq: AtomicU64::new(0),
             owner,
             _marker: std::marker::PhantomData,
         }
@@ -141,13 +152,15 @@ impl<T> AtomicAbaObject<T> {
         self.owner
     }
 
-    /// Route a 128-bit operation (local DCAS or active message).
-    fn route<R: Send>(&self, op: impl FnOnce(&AtomicU128) -> R + Send) -> R {
+    /// Route a 128-bit operation (local DCAS or active message). The
+    /// closure receives the cell together with its seqlock word so writers
+    /// can bump the sequence on the owner side, around the DCAS.
+    fn route<R: Send>(&self, op: impl FnOnce(&AtomicU128, &AtomicU64) -> R + Send) -> R {
         ctx::with_core(|core, _| match engine::remote_dcas_u128(core, self.owner) {
-            AtomicPath::CpuLocal => op(&self.cell),
+            AtomicPath::CpuLocal => op(&self.cell, &self.seq),
             AtomicPath::ActiveMessage => core.on_combining(self.owner, move || {
                 engine::handler_dcas_u128(core);
-                op(&self.cell)
+                op(&self.cell, &self.seq)
             }),
             AtomicPath::Nic => unreachable!("128-bit atomics never take the NIC path"),
         })
@@ -158,10 +171,21 @@ impl<T> AtomicAbaObject<T> {
     /// Atomically read the `{pointer, counter}` snapshot. A pure read —
     /// idempotent under fault injection, so a lost read request may be
     /// retried (see [`pgas_sim::faults`]).
+    ///
+    /// With [`pgas_sim::RuntimeConfig::vread_fastpath`] enabled this is an
+    /// optimistic versioned read (sequence-validated two-load window on
+    /// the one-sided GET cost model, see [`crate::seqlock`]); a torn
+    /// window beyond the retry budget falls back to the DCAS path below.
     pub fn read_aba(&self) -> Aba<T> {
         let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::READ, 0);
         pgas_sim::faults::with_class(pgas_sim::faults::OpClass::Idempotent, || {
-            unpack(self.route(|c| c.load(Ordering::SeqCst)))
+            let fast = ctx::with_core(|core, _| {
+                seqlock::fast_read(core, self.owner, &self.seq, &self.cell)
+            });
+            if let Some(bits) = fast {
+                return unpack(bits);
+            }
+            unpack(self.route(|c, _| c.load(Ordering::SeqCst)))
         })
     }
 
@@ -171,9 +195,11 @@ impl<T> AtomicAbaObject<T> {
         let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::CAS, 0);
         let e = pack(expected.ptr, expected.count);
         let n = pack(new, expected.count.wrapping_add(1));
-        self.route(move |c| {
-            c.compare_exchange(e, n, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
+        self.route(move |c, s| {
+            seqlock::write_locked(s, || {
+                c.compare_exchange(e, n, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            })
         })
     }
 
@@ -182,15 +208,18 @@ impl<T> AtomicAbaObject<T> {
     pub fn exchange_aba(&self, new: GlobalPtr<T>) -> Aba<T> {
         let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::EXCHANGE, 0);
         let bits = new.into_bits();
-        unpack(self.route(move |c| {
-            let mut cur = c.load(Ordering::SeqCst);
-            loop {
-                let next = ((((cur >> 64) as u64).wrapping_add(1) as u128) << 64) | bits as u128;
-                match c.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
-                    Ok(old) => return old,
-                    Err(now) => cur = now,
+        unpack(self.route(move |c, s| {
+            seqlock::write_locked(s, || {
+                let mut cur = c.load(Ordering::SeqCst);
+                loop {
+                    let next =
+                        ((((cur >> 64) as u64).wrapping_add(1) as u128) << 64) | bits as u128;
+                    match c.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                        Ok(old) => return old,
+                        Err(now) => cur = now,
+                    }
                 }
-            }
+            })
         }))
     }
 
@@ -259,18 +288,20 @@ impl<T> AtomicAbaObject<T> {
     pub fn compare_and_swap(&self, expected: GlobalPtr<T>, new: GlobalPtr<T>) -> bool {
         let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::CAS, 0);
         let (e, n) = (expected.into_bits(), new.into_bits());
-        self.route(move |c| {
-            let mut cur = c.load(Ordering::SeqCst);
-            loop {
-                if cur as u64 != e {
-                    return false;
+        self.route(move |c, s| {
+            seqlock::write_locked(s, || {
+                let mut cur = c.load(Ordering::SeqCst);
+                loop {
+                    if cur as u64 != e {
+                        return false;
+                    }
+                    let next = ((((cur >> 64) as u64).wrapping_add(1) as u128) << 64) | n as u128;
+                    match c.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                        Ok(_) => return true,
+                        Err(now) => cur = now,
+                    }
                 }
-                let next = ((((cur >> 64) as u64).wrapping_add(1) as u128) << 64) | n as u128;
-                match c.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
-                    Ok(_) => return true,
-                    Err(now) => cur = now,
-                }
-            }
+            })
         })
     }
 }
@@ -398,6 +429,92 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig::cluster(1).with_wide_pointers());
         rt.run(|| {
             let _ = AtomicAbaObject::<u64>::null();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "compressed pointers")]
+    fn wide_mode_rejects_aba_cells_via_new_on() {
+        // Twin of `wide_mode_rejects_aba_cells` exercising the explicit
+        // `new_on` constructor (the path structures actually take), with a
+        // genuinely remote owner.
+        let rt = Runtime::new(RuntimeConfig::cluster(2).with_wide_pointers());
+        rt.run(|| {
+            let _ = AtomicAbaObject::<u64>::new_on(1, GlobalPtr::null());
+        });
+    }
+
+    #[test]
+    fn remote_fast_read_skips_the_dcas_handler() {
+        let rt = Runtime::new(RuntimeConfig::cluster(2).with_vread_fastpath(true));
+        rt.run(|| {
+            let cell = AtomicAbaObject::<u64>::new_on(1, GlobalPtr::null());
+            rt.reset_metrics();
+            let s = cell.read_aba();
+            assert!(s.is_null());
+            let stats = rt.total_comm();
+            assert_eq!(stats.vread_fast, 1, "validated on the first attempt");
+            assert_eq!(stats.vread_fallbacks, 0);
+            assert_eq!(stats.am_sent, 0, "no handler round trip");
+            assert_eq!(stats.cpu_dcas, 0, "no DCAS anywhere");
+            assert_eq!(stats.gets, 1, "one cache-line GET per attempt");
+        });
+    }
+
+    #[test]
+    fn local_fast_read_is_not_communication() {
+        let rt = Runtime::new(RuntimeConfig::cluster(1).with_vread_fastpath(true));
+        rt.run(|| {
+            let cell = AtomicAbaObject::<u64>::null();
+            rt.reset_metrics();
+            let _ = cell.read_aba();
+            let stats = rt.total_comm();
+            assert_eq!(stats.vread_fast, 1);
+            assert_eq!(stats.cpu_dcas, 0);
+            assert_eq!(stats.network_events(), 0);
+        });
+    }
+
+    #[test]
+    fn wedged_sequence_falls_back_to_dcas() {
+        let rt = Runtime::new(
+            RuntimeConfig::cluster(2)
+                .with_vread_fastpath(true)
+                .with_vread_max_tries(3),
+        );
+        rt.run(|| {
+            let cell = AtomicAbaObject::<u64>::new_on(1, GlobalPtr::null());
+            // Wedge the sequence odd: a writer forever in flight, so every
+            // optimistic attempt sees a torn window.
+            cell.seq.fetch_add(1, Ordering::SeqCst);
+            rt.reset_metrics();
+            let s = cell.read_aba();
+            assert!(s.is_null(), "fallback still returns the right value");
+            let stats = rt.total_comm();
+            assert_eq!(stats.vread_fast, 0);
+            assert_eq!(stats.vread_retries, 3, "one per budgeted attempt");
+            assert_eq!(stats.vread_fallbacks, 1);
+            assert_eq!(stats.am_sent, 1, "escalated to the DCAS active message");
+        });
+    }
+
+    #[test]
+    fn fast_path_off_keeps_counters_bit_identical() {
+        // The same read with the fast path disabled must count exactly as
+        // the pre-seqlock build: one AM, one handler DCAS, no vread traffic.
+        let rt = Runtime::cluster(2);
+        rt.run(|| {
+            let cell = AtomicAbaObject::<u64>::new_on(1, GlobalPtr::null());
+            rt.reset_metrics();
+            let _ = cell.read_aba();
+            let stats = rt.total_comm();
+            assert_eq!(stats.am_sent, 1);
+            assert_eq!(stats.cpu_dcas, 1);
+            assert_eq!(
+                stats.vread_fast + stats.vread_retries + stats.vread_fallbacks,
+                0
+            );
+            assert_eq!(stats.gets, 0);
         });
     }
 

@@ -20,6 +20,18 @@
 //! The trade: every update allocates/retires a descriptor and every read
 //! through the cell adds one GET, in exchange for keeping the hot CAS on
 //! the NIC fast path at any machine scale.
+//!
+//! Relation to the versioned fast-read path ([`crate::seqlock`]): both
+//! attack the same cost — wide reads paying the DCAS active-message round
+//! trip — from opposite ends. The seqlock keeps the 128-bit cell and
+//! validates an optimistic two-load window against a sequence word;
+//! descriptors shrink the cell itself to one RDMA-able word. A descriptor
+//! read therefore needs no sequence validation of its own: the cell load
+//! is a single 64-bit atomic (it cannot tear) and the generation stamp
+//! already rejects any slot recycled between the cell load and the slot
+//! GET — the generation check *is* this path's validation, so the
+//! `vread_*` counters stay untouched here by design (CI's
+//! `validate_results` asserts they are zero outside the A10 rows).
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;

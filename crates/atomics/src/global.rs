@@ -24,11 +24,16 @@ use pgas_sim::telemetry::{opkind, OpClass, OpSpan};
 use pgas_sim::{ctx, GlobalPtr, LocaleId, PointerMode, WideGlobalPtr};
 use portable_atomic::AtomicU128;
 
+use crate::seqlock;
+
 /// Storage for the object word: one compressed word, or the full wide
-/// pair glued into a `u128` (`high = locality`, `low = address`).
+/// pair glued into a `u128` (`high = locality`, `low = address`) together
+/// with the seqlock word that backs the versioned fast-read path (see
+/// [`crate::seqlock`]; maintained unconditionally, consulted only when
+/// [`pgas_sim::RuntimeConfig::vread_fastpath`] is on).
 enum Repr {
     Compressed(AtomicU64),
-    Wide(AtomicU128),
+    Wide { cell: AtomicU128, seq: AtomicU64 },
 }
 
 fn wide_to_u128<T>(p: WideGlobalPtr<T>) -> u128 {
@@ -75,7 +80,10 @@ impl<T> AtomicObject<T> {
         let mode = ctx::with_core(|core, _| core.config.pointer_mode);
         let repr = match mode {
             PointerMode::Compressed => Repr::Compressed(AtomicU64::new(ptr.into_bits())),
-            PointerMode::Wide => Repr::Wide(AtomicU128::new(wide_to_u128(ptr.widen()))),
+            PointerMode::Wide => Repr::Wide {
+                cell: AtomicU128::new(wide_to_u128(ptr.widen())),
+                seq: AtomicU64::new(0),
+            },
         };
         AtomicObject {
             repr,
@@ -119,14 +127,24 @@ impl<T> AtomicObject<T> {
     /// Atomically read the current reference. A pure read — idempotent
     /// under fault injection, so a lost read request may be retried (see
     /// [`pgas_sim::faults`]).
+    ///
+    /// In wide mode with [`pgas_sim::RuntimeConfig::vread_fastpath`]
+    /// enabled, the read is an optimistic versioned (seqlock) read on the
+    /// one-sided GET cost model, falling back to the DCAS path after the
+    /// retry budget (see [`crate::seqlock`]).
     pub fn read(&self) -> GlobalPtr<T> {
         let _span = OpSpan::start(OpClass::AtomicObjectOp, opkind::READ, 0);
         pgas_sim::faults::with_class(pgas_sim::faults::OpClass::Idempotent, || match &self.repr {
             Repr::Compressed(c) => {
                 GlobalPtr::from_bits(self.route64(c, |c| c.load(Ordering::SeqCst)))
             }
-            Repr::Wide(c) => {
-                let bits = self.route128(c, |c| c.load(Ordering::SeqCst));
+            Repr::Wide { cell, seq } => {
+                let fast =
+                    ctx::with_core(|core, _| seqlock::fast_read(core, self.owner, seq, cell));
+                let bits = match fast {
+                    Some(bits) => bits,
+                    None => self.route128(cell, |c| c.load(Ordering::SeqCst)),
+                };
                 wide_ptr_to_global(u128_to_wide::<T>(bits))
             }
         })
@@ -140,9 +158,11 @@ impl<T> AtomicObject<T> {
                 let bits = ptr.into_bits();
                 self.route64(c, move |c| c.store(bits, Ordering::SeqCst))
             }
-            Repr::Wide(c) => {
+            Repr::Wide { cell, seq } => {
                 let bits = wide_to_u128(ptr.widen());
-                self.route128(c, move |c| c.store(bits, Ordering::SeqCst))
+                self.route128(cell, move |c| {
+                    seqlock::write_locked(seq, || c.store(bits, Ordering::SeqCst))
+                })
             }
         }
     }
@@ -155,9 +175,11 @@ impl<T> AtomicObject<T> {
                 let bits = ptr.into_bits();
                 GlobalPtr::from_bits(self.route64(c, move |c| c.swap(bits, Ordering::SeqCst)))
             }
-            Repr::Wide(c) => {
+            Repr::Wide { cell, seq } => {
                 let bits = wide_to_u128(ptr.widen());
-                let old = self.route128(c, move |c| c.swap(bits, Ordering::SeqCst));
+                let old = self.route128(cell, move |c| {
+                    seqlock::write_locked(seq, || c.swap(bits, Ordering::SeqCst))
+                });
                 wide_ptr_to_global(u128_to_wide::<T>(old))
             }
         }
@@ -180,10 +202,12 @@ impl<T> AtomicObject<T> {
                 .map(GlobalPtr::from_bits)
                 .map_err(GlobalPtr::from_bits)
             }
-            Repr::Wide(c) => {
+            Repr::Wide { cell, seq } => {
                 let (e, n) = (wide_to_u128(expected.widen()), wide_to_u128(new.widen()));
-                self.route128(c, move |c| {
-                    c.compare_exchange(e, n, Ordering::SeqCst, Ordering::SeqCst)
+                self.route128(cell, move |c| {
+                    seqlock::write_locked(seq, || {
+                        c.compare_exchange(e, n, Ordering::SeqCst, Ordering::SeqCst)
+                    })
                 })
                 .map(|b| wide_ptr_to_global(u128_to_wide::<T>(b)))
                 .map_err(|b| wide_ptr_to_global(u128_to_wide::<T>(b)))
@@ -202,7 +226,9 @@ impl<T> AtomicObject<T> {
     pub fn read_untracked(&self) -> GlobalPtr<T> {
         match &self.repr {
             Repr::Compressed(c) => GlobalPtr::from_bits(c.load(Ordering::SeqCst)),
-            Repr::Wide(c) => wide_ptr_to_global(u128_to_wide::<T>(c.load(Ordering::SeqCst))),
+            Repr::Wide { cell, .. } => {
+                wide_ptr_to_global(u128_to_wide::<T>(cell.load(Ordering::SeqCst)))
+            }
         }
     }
 }
@@ -219,7 +245,7 @@ impl<T> std::fmt::Debug for AtomicObject<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mode = match self.repr {
             Repr::Compressed(_) => "compressed",
-            Repr::Wide(_) => "wide",
+            Repr::Wide { .. } => "wide",
         };
         f.debug_struct("AtomicObject")
             .field("owner", &self.owner)
@@ -356,6 +382,64 @@ mod tests {
             assert_eq!(s.cpu_dcas, 1);
             assert_eq!(s.network_events(), 0);
         });
+    }
+
+    #[test]
+    fn wide_mode_new_on_is_accepted() {
+        // Twin of aba.rs's `wide_mode_rejects_aba_cells_via_new_on`: the
+        // plain AtomicObject is exactly what wide mode exists for, so the
+        // same constructor must succeed here and behave.
+        let rt = Runtime::new(RuntimeConfig::cluster(2).with_wide_pointers());
+        rt.run(|| {
+            let cell = AtomicObject::<u64>::new_on(1, GlobalPtr::null());
+            assert_eq!(cell.owner(), 1);
+            assert!(cell.read().is_null());
+        });
+    }
+
+    #[test]
+    fn wide_mode_fast_read_skips_the_dcas_handler() {
+        let rt = Runtime::new(
+            RuntimeConfig::cluster(2)
+                .with_wide_pointers()
+                .with_vread_fastpath(true),
+        );
+        rt.run(|| {
+            let cell = AtomicObject::<u64>::new_on(1, GlobalPtr::null());
+            rt.reset_metrics();
+            let _ = cell.read();
+            let s = rt.total_comm();
+            assert_eq!(s.vread_fast, 1);
+            assert_eq!(s.am_sent, 0, "read migrated off the handler path");
+            assert_eq!(s.cpu_dcas, 0);
+            assert_eq!(s.gets, 1);
+            // Writes keep the DCAS as the linearization point.
+            cell.write(GlobalPtr::null());
+            let s = rt.total_comm();
+            assert_eq!(s.am_sent, 1);
+            assert_eq!(s.cpu_dcas, 1);
+        });
+    }
+
+    #[test]
+    fn wide_mode_fast_read_matches_dcas_read_values() {
+        let mk = |fast: bool| {
+            RuntimeConfig::zero_latency(2)
+                .with_wide_pointers()
+                .with_vread_fastpath(fast)
+        };
+        for fast in [false, true] {
+            let rt = Runtime::new(mk(fast));
+            rt.run(|| {
+                let p = alloc_on(&rt, 1, 42u64);
+                let cell = AtomicObject::<u64>::new_on(1, GlobalPtr::null());
+                cell.write(p);
+                let got = cell.read();
+                assert_eq!(got, p, "fast={fast}");
+                assert_eq!(got.locale(), 1);
+                unsafe { free(&rt, p) };
+            });
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod compression;
 pub mod descriptor;
 pub mod global;
 pub mod local;
+pub(crate) mod seqlock;
 
 pub use aba::{Aba, AtomicAbaObject};
 pub use atomic_int::AtomicInt;

@@ -1,0 +1,108 @@
+//! Torn-read oracle for the versioned fast-read path.
+//!
+//! A writer task churns an ABA cell through `write_aba` so that the cell
+//! always holds a *self-consistent* `{pointer, counter}` pair: after the
+//! k-th write the counter is exactly `k` and the pointer bits are exactly
+//! `k * MULT`. Concurrent readers take validated fast reads
+//! (`vread_fastpath = true`) and check every snapshot against that
+//! invariant — a mixed pair (pointer from one write, counter from another)
+//! can only be produced by an unvalidated torn two-load window.
+//!
+//! The planted-bug twin flips [`pgas_sim::engine::debug_vread_skip_validate`]
+//! on, which makes the fast read skip the seqlock validation (and widens
+//! the torn window), and asserts the oracle *does* catch the resulting
+//! mixed pairs — proving the checker is sharp, not vacuously green. The
+//! chaos binary runs the same planted bug as a self-test
+//! (`checker_self_test_vread`) before every matrix run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pgas_atomics::AtomicAbaObject;
+use pgas_sim::{GlobalPtr, Runtime, RuntimeConfig};
+use proptest::prelude::*;
+
+/// The skip-validate hook is process-wide and the test harness runs tests
+/// concurrently — serialize every oracle run against the planted-bug twin
+/// so the hook can never leak into a clean round.
+static HOOK: Mutex<()> = Mutex::new(());
+
+/// Pointer bits for the k-th write: any odd multiplier works; this one
+/// keeps high and low halves busy so a torn compose is visibly wrong.
+const MULT: u64 = 0x9E37_79B9;
+
+/// Run `writes` sequential writes against one remote ABA cell while
+/// `readers` tasks hammer it with fast reads; returns the number of
+/// snapshots violating `ptr == count * MULT` (0 unless reads tear).
+fn run_mix(writes: u64, readers: usize) -> u64 {
+    let rt = Runtime::new(
+        RuntimeConfig::cluster(2)
+            .with_vread_fastpath(true)
+            .with_vread_max_tries(8),
+    );
+    rt.run(|| {
+        let cell = AtomicAbaObject::<u64>::new_on(1, GlobalPtr::null());
+        let violations = AtomicU64::new(0);
+        rt.coforall_tasks(readers + 1, |t| {
+            if t == 0 {
+                for k in 1..=writes {
+                    cell.write_aba(GlobalPtr::from_bits(k.wrapping_mul(MULT)));
+                }
+            } else {
+                for _ in 0..writes * 4 {
+                    let snap = cell.read_aba();
+                    let ptr = snap.get_object().into_bits();
+                    let count = snap.get_aba_count();
+                    if ptr != count.wrapping_mul(MULT) {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        });
+        violations.load(Ordering::SeqCst)
+    })
+}
+
+proptest! {
+    // Each case spins up a full runtime (real threads); keep the case
+    // count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// However writers and readers interleave, a *validated* fast read
+    /// never surfaces a mixed `{pointer, counter}` pair.
+    #[test]
+    fn validated_fast_reads_never_surface_torn_pairs(
+        writes in 16u64..128,
+        readers in 1usize..4,
+    ) {
+        let _serial = HOOK.lock().unwrap_or_else(|e| e.into_inner());
+        prop_assert_eq!(
+            run_mix(writes, readers),
+            0,
+            "a sequence-validated read surfaced a torn pair"
+        );
+    }
+}
+
+/// Planted bug: with validation skipped the very same oracle must start
+/// reporting torn pairs — otherwise the proptest above proves nothing.
+#[test]
+fn oracle_catches_skipped_validation() {
+    let _serial = HOOK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = pgas_sim::engine::debug_vread_skip_validate(true);
+    assert!(!prev, "skip-validate hook unexpectedly already set");
+    let mut torn = 0;
+    // The tear is a real-thread race; retry a few rounds so the planted
+    // bug is caught deterministically without making one round huge.
+    for _ in 0..50 {
+        torn = run_mix(256, 2);
+        if torn > 0 {
+            break;
+        }
+    }
+    pgas_sim::engine::debug_vread_skip_validate(false);
+    assert!(
+        torn > 0,
+        "oracle failed to catch the planted validation-skip bug"
+    );
+}

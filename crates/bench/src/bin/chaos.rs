@@ -129,9 +129,13 @@ fn build_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
 
 fn cfg(plan: &FaultPlan) -> RuntimeConfig {
     // Network atomics off: every remote operation takes the AM path, which
-    // is where drops/dups/delays bite hardest.
+    // is where drops/dups/delays bite hardest. The versioned fast-read
+    // path stays on so every `read_aba` in the matrix exercises the
+    // optimistic two-load window under injected drops/delays/dups too
+    // (its attempts are Idempotent-class, so the retry machinery applies).
     RuntimeConfig::cluster(LOCALES)
         .without_network_atomics()
+        .with_vread_fastpath(true)
         .with_faults(plan.clone())
 }
 
@@ -557,6 +561,58 @@ fn checker_self_test_hp() -> Result<(), String> {
     })
 }
 
+/// The versioned-read twin of [`checker_self_test`]: a writer churns an
+/// ABA cell so it always holds a self-consistent `{pointer == count *
+/// MULT}` pair while readers take fast reads. With the planted
+/// `debug_vread_skip_validate` bug the unvalidated (and deliberately
+/// widened) two-load window must surface at least one mixed pair; a clean
+/// control round must surface none — proving the torn-read oracle has
+/// teeth and validation is load-bearing.
+fn checker_self_test_vread() -> Result<(), String> {
+    const MULT: u64 = 0x9E37_79B9;
+    let torn_pairs = |planted: bool| -> u64 {
+        let prev = pgas_nb::sim::engine::debug_vread_skip_validate(planted);
+        let rt = Runtime::new(
+            RuntimeConfig::cluster(2)
+                .with_vread_fastpath(true)
+                .with_vread_max_tries(8),
+        );
+        let torn = rt.run(|| {
+            let cell = AtomicAbaObject::<u64>::new_on(1, GlobalPtr::null());
+            let torn = AtomicU64::new(0);
+            rt.coforall_tasks(3, |t| {
+                if t == 0 {
+                    for k in 1..=256u64 {
+                        cell.write_aba(GlobalPtr::from_bits(k.wrapping_mul(MULT)));
+                    }
+                } else {
+                    for _ in 0..1024 {
+                        let snap = cell.read_aba();
+                        if snap.get_object().into_bits() != snap.get_aba_count().wrapping_mul(MULT)
+                        {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+            torn.load(Ordering::Relaxed)
+        });
+        pgas_nb::sim::engine::debug_vread_skip_validate(prev);
+        torn
+    };
+    if torn_pairs(false) != 0 {
+        return Err("validated fast reads surfaced a torn pair".to_string());
+    }
+    // The tear is a real-thread race; retry a few rounds so the planted
+    // bug is caught deterministically.
+    for _ in 0..50 {
+        if torn_pairs(true) > 0 {
+            return Ok(());
+        }
+    }
+    Err("planted validation skip was NOT caught by the torn-read oracle".to_string())
+}
+
 fn print_row(plan: &str, workload: &str, detail: &str, ok: bool) {
     println!(
         "{plan:<12} {workload:<9} {detail:<58} {}",
@@ -682,6 +738,13 @@ fn main() -> ExitCode {
         Ok(()) => print_row("self-test", "hp", "planted hazard violation caught", true),
         Err(e) => {
             print_row("self-test", "hp", &e, false);
+            failed += 1;
+        }
+    }
+    match checker_self_test_vread() {
+        Ok(()) => print_row("self-test", "vread", "planted validation skip caught", true),
+        Err(e) => {
+            print_row("self-test", "vread", &e, false);
             failed += 1;
         }
     }

@@ -42,9 +42,9 @@ use pgas_nb::sim::{CommSnapshot, TelemetrySnapshot};
 use pgas_bench::json::{jnum, jstr};
 use pgas_bench::{
     ablate_combining, ablate_election, ablate_local_manager, ablate_privatization,
-    ablate_reclaimer, ablate_reclamation_scheme, ablate_scatter, ablate_wide, comm_breakdown,
-    fig3_dist, fig3_shared, fig7_read_only, fig_deletion, runtime, A8Structure, CombineWorkload,
-    ReclaimAblation, Sample, Variant, LOCALE_SWEEP, TASK_SWEEP,
+    ablate_reclaimer, ablate_reclamation_scheme, ablate_scatter, ablate_vread, ablate_wide,
+    comm_breakdown, fig3_dist, fig3_shared, fig7_read_only, fig_deletion, runtime, A8Structure,
+    CombineWorkload, ReclaimAblation, Sample, Variant, LOCALE_SWEEP, TASK_SWEEP,
 };
 use pgas_nb::prelude::{EpochManager, HazardReclaimer};
 
@@ -482,6 +482,9 @@ fn ablations(sc: &Scale) {
         }
     }
 
+    say!("\n=== Ablation A10: versioned fast reads vs DCAS reads (read-mostly ABA mixes) ===");
+    a10(sc);
+
     say!("\n=== Ablation A7: remote-op combining ===");
     for workload in CombineWorkload::ALL {
         for &locales in &[2usize, 4, 8] {
@@ -544,6 +547,75 @@ fn a8(sc: &Scale) {
     }
 }
 
+/// Ablation A10: read-mostly ABA mixes (90% and 99% read) across the
+/// locale sweep with the versioned fast-read path off vs on. With the
+/// fast path on, reads cost one validated one-sided GET instead of a DCAS
+/// AM round trip, so the on rows must win wherever reads are actually
+/// remote (≥2 locales); writes keep the DCAS either way. The harness
+/// asserts the win inline at 4+ locales and that fallbacks stay bounded
+/// by retries, so a regression fails the run before CI even parses
+/// `BENCH_results.json`.
+fn a10(sc: &Scale) {
+    let ops = (sc.fig3_ops / 4).max(1024);
+    for read_pct in [90u32, 99] {
+        for &locales in &[1usize, 2, 4, 8] {
+            let mut off_ns = f64::INFINITY;
+            for fast in [false, true] {
+                let (s, t) = ablate_vread(locales, ops, read_pct, fast);
+                let label = format!(
+                    "A10 {read_pct}% read vread={}",
+                    if fast { "on" } else { "off" }
+                );
+                row_comm(
+                    &label,
+                    "locales",
+                    locales,
+                    &format!("AMs={}", t.comm.am_sent),
+                    s,
+                    &t,
+                );
+                if fast {
+                    assert!(
+                        t.comm.vread_fallbacks <= t.comm.vread_retries,
+                        "A10 {read_pct}% @{locales}: every fallback needs a torn \
+                         window first ({} fallbacks vs {} retries)",
+                        t.comm.vread_fallbacks,
+                        t.comm.vread_retries
+                    );
+                    assert!(
+                        t.comm.vread_fast > t.comm.vread_fallbacks,
+                        "A10 {read_pct}% @{locales}: fast path barely validates \
+                         ({} fast vs {} fallbacks)",
+                        t.comm.vread_fast,
+                        t.comm.vread_fallbacks
+                    );
+                    if locales >= 4 {
+                        assert!(
+                            s.ns_per_op() < off_ns,
+                            "A10 {read_pct}% @{locales}: fast path must beat DCAS \
+                             reads ({:.1} vs {:.1} ns/op)",
+                            s.ns_per_op(),
+                            off_ns
+                        );
+                    }
+                } else {
+                    off_ns = s.ns_per_op();
+                    assert_eq!(
+                        (
+                            t.comm.vread_fast,
+                            t.comm.vread_retries,
+                            t.comm.vread_fallbacks
+                        ),
+                        (0, 0, 0),
+                        "A10 {read_pct}% @{locales}: vread counters must stay zero \
+                         with the fast path off"
+                    );
+                }
+            }
+        }
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -599,11 +671,18 @@ fn main() {
     }
     if wants("ablations") || selectors.iter().any(|a| a.starts_with("ablate")) {
         ablations(sc);
-    } else if selectors.iter().any(|a| a == "a8") {
-        // Standalone A8 selector for the reclaim smoke job (the full
-        // `ablations` run already includes it).
-        say!("\n=== Ablation A8: pluggable reclamation — EBR vs hazard pointers per structure ===");
-        a8(sc);
+    } else {
+        if selectors.iter().any(|a| a == "a8") {
+            // Standalone A8 selector for the reclaim smoke job (the full
+            // `ablations` run already includes it).
+            say!("\n=== Ablation A8: pluggable reclamation — EBR vs hazard pointers per structure ===");
+            a8(sc);
+        }
+        if selectors.iter().any(|a| a == "a10") {
+            // Standalone A10 selector for the vread smoke job.
+            say!("\n=== Ablation A10: versioned fast reads vs DCAS reads (read-mostly ABA mixes) ===");
+            a10(sc);
+        }
     }
     write_results_json("BENCH_results.json");
     pgas_bench::flush_trace_sink();

@@ -20,7 +20,11 @@
 //!   retired/reclaimed/scans/hazard-protects, stalled-task numbers) with
 //!   `reclaimed ≤ retired`, no hazard publications under EBR, and
 //!   progress behind the stall under HP;
-//! * the A1 scatter rows CI pins are present;
+//! * the three versioned-read counters (`vread_fast`/`vread_retries`/
+//!   `vread_fallbacks`) are zero on every row except the A10 `vread=on`
+//!   rows, where validated fast reads must exist and fallbacks cannot
+//!   exceed retries;
+//! * the A1 scatter rows and A10 vread rows CI pins are present;
 //! * with `--trace`, every line of the span trace parses, carries the
 //!   causal-identity fields (`trace`, `span`, `parent`), and satisfies
 //!   `issue ≤ arrive ≤ start ≤ end`.
@@ -30,7 +34,7 @@ use std::process::ExitCode;
 use pgas_bench::json::{parse, Value};
 
 /// Counter keys every `comm` object must carry (the `counters!` list).
-const COMM_KEYS: [&str; 22] = [
+const COMM_KEYS: [&str; 25] = [
     "rdma_atomics",
     "cpu_atomics",
     "cpu_dcas",
@@ -53,6 +57,9 @@ const COMM_KEYS: [&str; 22] = [
     "injected_drops",
     "injected_delays",
     "injected_dups",
+    "vread_fast",
+    "vread_retries",
+    "vread_fallbacks",
 ];
 
 fn num(row: &Value, key: &str) -> Result<f64, String> {
@@ -198,6 +205,28 @@ fn check_row(row: &Value) -> Result<(), String> {
                     "am_count ({am}) disagrees with comm.am_sent ({am_sent})"
                 )));
             }
+            // The versioned fast-read path is only enabled on the A10
+            // vread=on rows; anywhere else a nonzero vread counter means
+            // the seqlock leaked into a baseline configuration.
+            let fast = num(comm, "vread_fast").unwrap();
+            let retries = num(comm, "vread_retries").unwrap();
+            let fallbacks = num(comm, "vread_fallbacks").unwrap();
+            if name.contains("vread=on") {
+                if fallbacks > retries {
+                    return Err(ctx(format!(
+                        "comm: vread_fallbacks ({fallbacks}) exceeds vread_retries \
+                         ({retries}) — every fallback needs a torn window first"
+                    )));
+                }
+                if fast == 0.0 {
+                    return Err(ctx("comm: vread=on row validated no fast reads".into()));
+                }
+            } else if (fast, retries, fallbacks) != (0.0, 0.0, 0.0) {
+                return Err(ctx(format!(
+                    "comm: vread counters nonzero outside an A10 vread=on row \
+                     (fast={fast} retries={retries} fallbacks={fallbacks})"
+                )));
+            }
         }
         (true, None) => {}
     }
@@ -237,6 +266,10 @@ fn check_results(text: &str) -> Result<usize, String> {
         "A1 scatter=off",
         "A8 stack ebr stalled_task",
         "A8 stack hp stalled_task",
+        "A10 90% read vread=off",
+        "A10 90% read vread=on",
+        "A10 99% read vread=off",
+        "A10 99% read vread=on",
     ] {
         if !rows
             .iter()

@@ -794,6 +794,71 @@ pub fn ablate_combining(
     out.unwrap()
 }
 
+/// Ablation A10: the versioned (seqlock) fast-read path on read-mostly
+/// ABA mixes, fast path on vs off.
+///
+/// Each locale's tasks hammer a *shared* `AtomicAbaObject` owned by the
+/// next locale (so readers genuinely race writers and torn windows /
+/// fallbacks can occur): `read_pct`% of operations are `read_aba`, the
+/// rest alternate an ABA compare-and-swap (snapshot + CAS) with a
+/// `write_aba`. With the fast path off every read is a full DCAS round
+/// trip (remote: an AM through the owner's progress service); with it on,
+/// validated reads ride the one-sided GET cost model and only the writes
+/// keep the DCAS — the `vread_fast`/`vread_retries`/`vread_fallbacks`
+/// counters in the returned snapshot tell the story.
+pub fn ablate_vread(
+    locales: usize,
+    total_ops: u64,
+    read_pct: u32,
+    fast: bool,
+) -> (Sample, TelemetrySnapshot) {
+    assert!((1..100).contains(&read_pct), "read_pct must be 1..=99");
+    let cfg = RuntimeConfig::cluster(locales).with_vread_fastpath(fast);
+    let rt = traced(Runtime::new(cfg));
+    let tasks = 4usize;
+    let n_tasks = (locales * tasks) as u64;
+    let per_task = (total_ops / n_tasks).max(1);
+    // 90% read → every 10th op writes; 99% → every 100th.
+    let period = (100 / (100 - read_pct)) as u64;
+    let mut out = None;
+    rt.run(|| {
+        // One cell per owner locale, shared by every task targeting it.
+        let cells: Vec<AtomicAbaObject<u64>> = (0..rt.num_locales())
+            .map(|o| AtomicAbaObject::new_on(o as LocaleId, GlobalPtr::null()))
+            .collect();
+        rt.reset_metrics();
+        let wall = Instant::now();
+        let t0 = vtime::now();
+        rt.coforall_locales(|l| {
+            let owner = (l as usize + 1) % rt.num_locales();
+            let cell = &cells[owner];
+            rt.coforall_tasks(tasks, |_| {
+                for i in 0..per_task {
+                    if i % period == period - 1 {
+                        if (i / period).is_multiple_of(2) {
+                            let snap = cell.read_aba();
+                            let _ = cell.compare_and_swap_aba(snap, GlobalPtr::null());
+                        } else {
+                            cell.write_aba(GlobalPtr::null());
+                        }
+                    } else {
+                        let _ = cell.read_aba();
+                    }
+                }
+            });
+        });
+        out = Some((
+            Sample {
+                vtime_ns: vtime::now() - t0,
+                wall_ns: wall.elapsed().as_nanos() as u64,
+                ops: per_task * n_tasks,
+            },
+            rt.total_telemetry(),
+        ));
+    });
+    out.unwrap()
+}
+
 /// Which structure an A8 (pluggable-reclamation) measurement churns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum A8Structure {

@@ -127,7 +127,8 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceSpan>, String> {
 pub struct Components {
     /// Exclusive time of structure / atomic-object op spans.
     pub local: i128,
-    /// Wire legs of AM round trips (request + reply).
+    /// Wire legs of AM round trips (request + reply) and one-sided
+    /// versioned-read GETs.
     pub wire: i128,
     /// AM server-slot queueing (`start − arrive`).
     pub queueing: i128,
@@ -302,6 +303,12 @@ pub fn analyze(spans: Vec<TraceSpan>) -> Analysis {
                     }
                     "retry" => comps.retry += excl,
                     "combine_ride" => comps.combine += excl,
+                    // A versioned fast read is a pure one-sided wire op:
+                    // no server slot, no handler. Its exclusive time (the
+                    // GET legs, minus any nested fault-retry spans) is all
+                    // wire — this is how the read class visibly migrates
+                    // off the handler component when the fast path is on.
+                    "versioned_read" => comps.wire += excl,
                     _ => comps.other += excl,
                 }
             }

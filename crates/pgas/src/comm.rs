@@ -25,7 +25,7 @@
 //! [`crate::engine::CommEngine`] (the routing tables here are what the
 //! in-process [`crate::engine::SimEngine`] backend consults).
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::ctx;
 use crate::globalptr::LocaleId;
@@ -65,46 +65,7 @@ pub fn route_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
         // sequence numbers make the retry exactly-once, so — unlike the
         // AM path — this is safe for *any* operation class. The memory
         // effect is applied by the caller exactly once, after routing.
-        if let Some(fs) = core.faults() {
-            if owner != here {
-                if let Some(extra) = fs.inject_delay() {
-                    stats.injected_delays.fetch_add(1, Ordering::Relaxed);
-                    vtime::charge(extra);
-                }
-                let mut attempt = 0;
-                while attempt < fs.max_attempts() {
-                    let Some(decision) = fs.inject_drop_indexed() else {
-                        break;
-                    };
-                    stats.injected_drops.fetch_add(1, Ordering::Relaxed);
-                    let before = vtime::now();
-                    let penalty = fs.retry_penalty_ns(attempt);
-                    vtime::charge(penalty + net.nic_atomic_ns);
-                    stats.retries.fetch_add(1, Ordering::Relaxed);
-                    stats.record(OpClass::Retry, penalty);
-                    // One retry span per dropped NIC request, tagged with
-                    // the fault decision index that dropped it.
-                    let (trace_id, span_id, parent) = core.span_ids(here);
-                    core.emit_span(|| Span {
-                        class: OpClass::Retry,
-                        src: here,
-                        dest: owner,
-                        issue_vtime: before,
-                        arrive_vtime: before + penalty,
-                        start_vtime: before + penalty,
-                        end_vtime: before + penalty + net.nic_atomic_ns,
-                        tag: decision,
-                        trace: trace_id,
-                        span: span_id,
-                        parent,
-                    });
-                    attempt += 1;
-                }
-                if attempt >= fs.max_attempts() {
-                    stats.gave_up.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
+        inject_one_sided_faults(core, owner, net.nic_atomic_ns);
         // The full span charged to this op: the NIC atomic itself plus
         // any injected delays and retransmit penalties.
         stats.record(OpClass::RdmaAtomic, vtime::now() - t_issue);
@@ -116,6 +77,59 @@ pub fn route_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
         AtomicPath::CpuLocal
     } else {
         AtomicPath::ActiveMessage
+    }
+}
+
+/// Inject one-sided wire faults (delay + drop/retransmit) against a request
+/// toward `owner`, where each retransmit re-pays `reissue_ns` on top of the
+/// backoff penalty. Used by the NIC atomic path and the versioned-read GET
+/// path; transport sequence numbers make retransmits exactly-once, so this
+/// is safe for any operation class. No-op when `owner` is local or no fault
+/// plan is installed.
+fn inject_one_sided_faults(core: &RuntimeCore, owner: LocaleId, reissue_ns: u64) {
+    let here = ctx::here();
+    let Some(fs) = core.faults() else {
+        return;
+    };
+    if owner == here {
+        return;
+    }
+    let stats = &core.locale(here).stats;
+    if let Some(extra) = fs.inject_delay() {
+        stats.injected_delays.fetch_add(1, Ordering::Relaxed);
+        vtime::charge(extra);
+    }
+    let mut attempt = 0;
+    while attempt < fs.max_attempts() {
+        let Some(decision) = fs.inject_drop_indexed() else {
+            break;
+        };
+        stats.injected_drops.fetch_add(1, Ordering::Relaxed);
+        let before = vtime::now();
+        let penalty = fs.retry_penalty_ns(attempt);
+        vtime::charge(penalty + reissue_ns);
+        stats.retries.fetch_add(1, Ordering::Relaxed);
+        stats.record(OpClass::Retry, penalty);
+        // One retry span per dropped request, tagged with the fault
+        // decision index that dropped it.
+        let (trace_id, span_id, parent) = core.span_ids(here);
+        core.emit_span(|| Span {
+            class: OpClass::Retry,
+            src: here,
+            dest: owner,
+            issue_vtime: before,
+            arrive_vtime: before + penalty,
+            start_vtime: before + penalty,
+            end_vtime: before + penalty + reissue_ns,
+            tag: decision,
+            trace: trace_id,
+            span: span_id,
+            parent,
+        });
+        attempt += 1;
+    }
+    if attempt >= fs.max_attempts() {
+        stats.gave_up.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -194,6 +208,116 @@ pub fn charge_put(core: &RuntimeCore, owner: LocaleId, bytes: usize) {
     stats.puts.fetch_add(1, Ordering::Relaxed);
     stats.bytes_put.fetch_add(bytes as u64, Ordering::Relaxed);
     vtime::charge_sampled(stats, OpClass::Put, rma_cost(core, bytes));
+}
+
+/// Bytes moved by one optimistic versioned-read attempt: the 16-byte
+/// payload plus the 8-byte sequence word (the validating re-read of the
+/// sequence rides the same GET — one cache line on the wire).
+const VREAD_BYTES: usize = 24;
+
+/// Planted-bug hook for the torn-read oracle (see `chaos` / the atomics
+/// proptests): when set, [`vread_u128`] returns the composed payload
+/// *without* sequence validation — exactly the bug the seqlock protocol
+/// exists to prevent — and widens the torn window with a scheduler yield so
+/// the checker reliably observes mixed halves. Never enabled in production
+/// paths; process-wide, so tests using it must not run runtimes
+/// concurrently with unrelated vread traffic.
+static VREAD_SKIP_VALIDATE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the planted validation-skip bug (see
+/// [`VREAD_SKIP_VALIDATE`]). Test-only; returns the previous value.
+pub fn debug_vread_skip_validate(on: bool) -> bool {
+    VREAD_SKIP_VALIDATE.swap(on, Ordering::SeqCst)
+}
+
+/// Optimistic versioned (seqlock) read of a 128-bit cell owned by `owner`.
+///
+/// Each attempt loads the sequence word, composes the payload from **two**
+/// separate loads of the cell (low half first, high half second — modeling
+/// that one-sided GETs cannot read 128 bits atomically, which is the whole
+/// reason the protocol validates), then re-loads the sequence. The attempt
+/// succeeds when the sequence was even and unchanged; a torn window bumps
+/// `vread_retries` and retries. After `vread_max_tries` failed attempts the
+/// read escalates (`vread_fallbacks`) and returns `None` — the caller must
+/// fall back to the DCAS slow path, which is also the path writers still
+/// take (writers bump the sequence to odd before and even after their
+/// DCAS, so they remain the linearization point).
+///
+/// Cost model: each attempt is a one-sided GET of [`VREAD_BYTES`]
+/// (`rma_ns` + bandwidth term) when remote — the same wire class the
+/// [`crate::engine::Batcher`] flush payloads ride — or a single
+/// `cpu_atomic_ns` cache-line load when local. Remote attempts are
+/// drop/delay-eligible like any idempotent one-sided request
+/// ([`inject_one_sided_faults`]). A validated read records the
+/// [`OpClass::VersionedRead`] histogram and emits a `versioned_read` span;
+/// fallbacks record nothing here (the DCAS slow path keeps its existing
+/// handler-class accounting).
+pub fn vread_u128(
+    core: &RuntimeCore,
+    owner: LocaleId,
+    seq: &AtomicU64,
+    load: &dyn Fn() -> u128,
+) -> Option<u128> {
+    let here = ctx::here();
+    let net = &core.config.network;
+    let stats = &core.locale(here).stats;
+    let t_issue = vtime::now();
+    let max_tries = core.config.vread_max_tries.max(1);
+    let skip_validate = VREAD_SKIP_VALIDATE.load(Ordering::Relaxed);
+    for attempt in 0..max_tries {
+        // Charge the attempt: one cache-line GET remotely, one cache-line
+        // load locally. Retried (torn) attempts pay again — the optimistic
+        // read is only a win while contention is low.
+        if owner == here {
+            vtime::charge(net.cpu_atomic_ns);
+        } else {
+            stats.gets.fetch_add(1, Ordering::Relaxed);
+            stats
+                .bytes_got
+                .fetch_add(VREAD_BYTES as u64, Ordering::Relaxed);
+            vtime::charge_sampled(stats, OpClass::Get, rma_cost(core, VREAD_BYTES));
+            inject_one_sided_faults(core, owner, rma_cost(core, VREAD_BYTES));
+        }
+        let s1 = seq.load(Ordering::SeqCst);
+        let lo = load() as u64;
+        if skip_validate {
+            // Planted bug: widen the window between the two half-loads so
+            // a concurrent writer's DCAS lands between them and the
+            // composed payload is genuinely mixed.
+            std::thread::yield_now();
+        }
+        let hi = (load() >> 64) as u64;
+        let payload = ((hi as u128) << 64) | lo as u128;
+        let valid = if skip_validate {
+            true // the bug: accept without re-validating the sequence
+        } else {
+            let s2 = seq.load(Ordering::SeqCst);
+            s1 & 1 == 0 && s1 == s2
+        };
+        if valid {
+            stats.vread_fast.fetch_add(1, Ordering::Relaxed);
+            let end = vtime::now();
+            stats.record(OpClass::VersionedRead, end - t_issue);
+            let (trace_id, span_id, parent) = core.span_ids(here);
+            core.emit_span(|| Span {
+                class: OpClass::VersionedRead,
+                src: here,
+                dest: owner,
+                issue_vtime: t_issue,
+                arrive_vtime: end,
+                start_vtime: end,
+                end_vtime: end,
+                tag: u64::from(attempt) + 1,
+                trace: trace_id,
+                span: span_id,
+                parent,
+            });
+            return Some(payload);
+        }
+        stats.vread_retries.fetch_add(1, Ordering::Relaxed);
+    }
+    stats.vread_fallbacks.fetch_add(1, Ordering::Relaxed);
+    None
 }
 
 #[cfg(test)]

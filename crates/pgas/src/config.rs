@@ -132,6 +132,16 @@ pub struct RuntimeConfig {
     /// default — disables every injection hook; counters and virtual-time
     /// charges are then bit-identical to a faults-free build.
     pub faults: Option<crate::faults::FaultPlan>,
+    /// Enable the versioned (seqlock) fast-read path for 128-bit atomic
+    /// cells: `read`/`read_aba` become optimistic two-load-and-validate
+    /// sequences riding the one-sided GET cost model, with the full DCAS
+    /// round trip demoted to a bounded-retry fallback. Off by default so
+    /// per-op communication counts stay bit-identical to the pre-seqlock
+    /// build unless explicitly opted in.
+    pub vread_fastpath: bool,
+    /// Maximum optimistic attempts a versioned read makes before falling
+    /// back to the DCAS slow path. Must be ≥ 1 when `vread_fastpath` is on.
+    pub vread_max_tries: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -145,6 +155,8 @@ impl Default for RuntimeConfig {
             combining: false,
             combine_max_batch: 64,
             faults: None,
+            vread_fastpath: false,
+            vread_max_tries: 4,
         }
     }
 }
@@ -230,6 +242,20 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable or disable the versioned (seqlock) fast-read path for wide
+    /// atomic cells (see [`Self::vread_fastpath`]).
+    pub fn with_vread_fastpath(mut self, on: bool) -> Self {
+        self.vread_fastpath = on;
+        self
+    }
+
+    /// Override the optimistic retry bound of the versioned fast-read path
+    /// (see [`Self::vread_max_tries`]).
+    pub fn with_vread_max_tries(mut self, tries: u32) -> Self {
+        self.vread_max_tries = tries;
+        self
+    }
+
     /// Validate invariants, panicking with a descriptive message on
     /// misconfiguration.
     pub(crate) fn validate(&self) {
@@ -253,6 +279,12 @@ impl RuntimeConfig {
             self.combine_max_batch >= 1,
             "combined messages must carry at least one operation"
         );
+        if self.vread_fastpath {
+            assert!(
+                self.vread_max_tries >= 1,
+                "versioned reads need at least one optimistic attempt"
+            );
+        }
         if let Some(plan) = &self.faults {
             plan.validate(self.num_locales);
         }
@@ -311,6 +343,24 @@ mod tests {
             ..RuntimeConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn vread_fastpath_defaults_off() {
+        let c = RuntimeConfig::default();
+        assert!(!c.vread_fastpath);
+        let c = RuntimeConfig::cluster(4).with_vread_fastpath(true);
+        assert!(c.vread_fastpath);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one optimistic attempt")]
+    fn vread_zero_tries_rejected() {
+        RuntimeConfig::cluster(2)
+            .with_vread_fastpath(true)
+            .with_vread_max_tries(0)
+            .validate();
     }
 
     #[test]

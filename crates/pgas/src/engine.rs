@@ -72,6 +72,24 @@ pub trait CommEngine: Send + Sync {
     /// case is always [`AtomicPath::ActiveMessage`].
     fn remote_dcas_u128(&self, core: &RuntimeCore, owner: LocaleId) -> AtomicPath;
 
+    /// Optimistic versioned (seqlock) fast read of a 128-bit cell owned by
+    /// `owner`, paired with sequence word `seq` and read through `load`
+    /// (called twice per attempt — one per 64-bit half, modeling that
+    /// one-sided GETs cannot fetch 128 bits atomically). Rides the cheap
+    /// one-sided GET cost model instead of the DCAS/handler path and is
+    /// idempotent, hence drop/retry-eligible under fault injection.
+    /// Returns the validated payload, or `None` once the
+    /// [`crate::config::RuntimeConfig::vread_max_tries`] budget is
+    /// exhausted — the caller must then fall back to
+    /// [`Self::remote_dcas_u128`].
+    fn remote_vread_u128(
+        &self,
+        core: &RuntimeCore,
+        owner: LocaleId,
+        seq: &std::sync::atomic::AtomicU64,
+        load: &dyn Fn() -> u128,
+    ) -> Option<u128>;
+
     /// Charge the CPU cost of a 64-bit atomic performed *inside* an AM
     /// handler (the remote-execution fallback's actual memory operation).
     fn handler_atomic_u64(&self, core: &RuntimeCore);
@@ -143,6 +161,16 @@ impl CommEngine for SimEngine {
 
     fn remote_dcas_u128(&self, core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
         crate::comm::route_atomic_u128(core, owner)
+    }
+
+    fn remote_vread_u128(
+        &self,
+        core: &RuntimeCore,
+        owner: LocaleId,
+        seq: &std::sync::atomic::AtomicU64,
+        load: &dyn Fn() -> u128,
+    ) -> Option<u128> {
+        crate::comm::vread_u128(core, owner, seq, load)
     }
 
     fn handler_atomic_u64(&self, core: &RuntimeCore) {
@@ -531,6 +559,24 @@ pub fn remote_atomic_u64(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
 /// [`CommEngine::remote_dcas_u128`] on the runtime's engine.
 pub fn remote_dcas_u128(core: &RuntimeCore, owner: LocaleId) -> AtomicPath {
     core.engine().remote_dcas_u128(core, owner)
+}
+
+/// [`CommEngine::remote_vread_u128`] on the runtime's engine.
+pub fn remote_vread_u128(
+    core: &RuntimeCore,
+    owner: LocaleId,
+    seq: &std::sync::atomic::AtomicU64,
+    load: &dyn Fn() -> u128,
+) -> Option<u128> {
+    core.engine().remote_vread_u128(core, owner, seq, load)
+}
+
+/// Planted-bug hook for the versioned-read torn-read oracle: when enabled,
+/// fast reads skip sequence validation (returning possibly-mixed halves).
+/// Test-only; returns the previous value. See
+/// [`CommEngine::remote_vread_u128`].
+pub fn debug_vread_skip_validate(on: bool) -> bool {
+    crate::comm::debug_vread_skip_validate(on)
 }
 
 /// [`CommEngine::handler_atomic_u64`] on the runtime's engine.

@@ -120,11 +120,17 @@ pub enum OpClass {
     /// publishing task (see [`crate::engine::combine`]); the bulk AM that
     /// carried the chunk nests under the *last* rider's span.
     CombineRide,
+    /// Versioned (seqlock) fast read of a 128-bit cell: optimistic
+    /// two-load-and-validate riding the one-sided GET cost model instead of
+    /// the DCAS/handler path. Sample = full virtual-time span including
+    /// torn-window re-reads; fallbacks to the DCAS slow path are *not*
+    /// sampled here (they record under the handler classes as before).
+    VersionedRead,
 }
 
 impl OpClass {
     /// Number of classes (length of [`OpClass::ALL`]).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 22;
 
     /// Every class, in declaration order (the histogram index order).
     pub const ALL: [OpClass; OpClass::COUNT] = [
@@ -149,6 +155,7 @@ impl OpClass {
         OpClass::RcuArrayOp,
         OpClass::AtomicObjectOp,
         OpClass::CombineRide,
+        OpClass::VersionedRead,
     ];
 
     /// Stable snake_case name used as the JSON key for this class.
@@ -175,6 +182,7 @@ impl OpClass {
             OpClass::RcuArrayOp => "rcu_array_op",
             OpClass::AtomicObjectOp => "atomic_object_op",
             OpClass::CombineRide => "combine_ride",
+            OpClass::VersionedRead => "versioned_read",
         }
     }
 

@@ -9,6 +9,13 @@
 //! the enqueuing task's locale, and head/tail live with the queue's
 //! creator.
 //!
+//! The head/tail ABA snapshots that open every `enqueue`/`dequeue` round
+//! are the queue's hot read path: with
+//! `RuntimeConfig::with_vread_fastpath(true)` they ride the versioned
+//! seqlock read (one validated one-sided GET) instead of the DCAS
+//! active-message round trip — no code change here, the cell routes it
+//! (see `pgas-atomics`' `seqlock` module and ablation A10).
+//!
 //! Under hazard pointers the operations follow Michael's protocol: the
 //! head/tail snapshot is protected in slot 0 (publish, then re-read the
 //! cell), and `dequeue` additionally protects the successor in slot 1 —

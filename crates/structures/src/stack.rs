@@ -14,6 +14,13 @@
 //! Nodes are allocated on the locale of the pushing task, so a stack used
 //! from many locales interleaves remote references; the head cell lives on
 //! the locale that created the stack.
+//!
+//! The head snapshots (`read_aba` in `push`/`pop`, `read` in `is_empty`)
+//! are the stack's hot read path: with
+//! `RuntimeConfig::with_vread_fastpath(true)` they ride the versioned
+//! seqlock read (one validated one-sided GET) instead of the DCAS
+//! active-message round trip — no code change here, the cell routes it
+//! (see `pgas-atomics`' `seqlock` module and ablation A10).
 
 use std::mem::ManuallyDrop;
 

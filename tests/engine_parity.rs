@@ -22,6 +22,14 @@
 //! uncombined concurrent run. A property test checks the combining layer's
 //! ordering contract: operations from one task execute in the order that
 //! task issued them (per-publisher FIFO).
+//!
+//! A fifth leg covers the wide-atomic *read* paths: the same ABA-cell
+//! read/CAS mix driven once with reads routed through the DCAS handler
+//! (fast path off) and once through the versioned seqlock read
+//! (`vread_fastpath = true`). Identical memory effects, every operation
+//! accounted on exactly one counter, and the fast leg must retire strictly
+//! fewer DCAS executions and active messages — reads migrate onto
+//! one-sided GETs while writes keep the DCAS.
 
 use pgas_nonblocking::prelude::*;
 use pgas_nonblocking::sim::CommSnapshot;
@@ -168,6 +176,90 @@ fn combining_leg_matches_blocking_am_effects() {
         "combining must strictly reduce AMs ({} vs {})",
         on.am_sent,
         off.am_sent
+    );
+}
+
+/// The wide-read parity workload: `N` reads spread over ABA cells owned by
+/// locale 1, then one read+CAS per cell so the leg also exercises the
+/// write side. Returns the final `(ptr bits, aba count)` snapshots and the
+/// counter delta covering exactly those operations.
+fn run_aba_reads(fast: bool) -> (Vec<(u64, u64)>, CommSnapshot) {
+    let mut config = RuntimeConfig::cluster(2);
+    if fast {
+        config = config.with_vread_fastpath(true);
+    }
+    let rt = Runtime::new(config);
+    rt.run(|| {
+        let cells: Vec<AtomicAbaObject<u64>> = (0..CELLS)
+            .map(|i| AtomicAbaObject::new_on(1, GlobalPtr::from_bits((i as u64 + 1) << 4)))
+            .collect();
+        rt.reset_metrics();
+        for i in 0..N {
+            let _ = cells[i as usize % CELLS].read_aba();
+        }
+        for cell in &cells {
+            let snap = cell.read_aba();
+            assert!(cell.compare_and_swap_aba(snap, GlobalPtr::null()));
+        }
+        let delta = rt.total_comm();
+        let vals = cells
+            .iter()
+            .map(|c| {
+                let a = c.read_aba();
+                (a.get_object().into_bits(), a.get_aba_count())
+            })
+            .collect();
+        (vals, delta)
+    })
+}
+
+#[test]
+fn versioned_read_leg_matches_dcas_read_effects() {
+    let (slow_vals, slow) = run_aba_reads(false);
+    let (fast_vals, fast) = run_aba_reads(true);
+
+    // Identical memory effects: every cell swapped to null at count 1.
+    let expected: Vec<(u64, u64)> = (0..CELLS).map(|_| (0, 1)).collect();
+    assert_eq!(slow_vals, expected, "DCAS-read leg memory effect");
+    assert_eq!(fast_vals, expected, "versioned-read leg memory effect");
+
+    let reads = N + CELLS as u64; // N spread reads + one snapshot per CAS
+    let writes = CELLS as u64;
+
+    // Fast path off: every read AND write is a DCAS handler round trip,
+    // and the vread machinery never wakes up.
+    assert_eq!(slow.am_sent, reads + writes);
+    assert_eq!(slow.cpu_dcas, reads + writes);
+    assert_eq!(slow.gets, 0);
+    assert_eq!(
+        (slow.vread_fast, slow.vread_retries, slow.vread_fallbacks),
+        (0, 0, 0),
+        "vread counters must stay zero with the fast path off"
+    );
+
+    // Fast path on: reads validate on the first optimistic window (no
+    // concurrent writer here), each costing one one-sided GET; only the
+    // CASes still cross the handler.
+    assert_eq!(fast.vread_fast, reads);
+    assert_eq!(fast.vread_retries, 0, "uncontended reads never tear");
+    assert_eq!(fast.vread_fallbacks, 0);
+    assert_eq!(fast.gets, reads);
+    assert_eq!(fast.am_sent, writes, "only the CASes ship AMs");
+    assert_eq!(fast.cpu_dcas, writes, "writes keep the DCAS");
+
+    // Conservation: both legs retire exactly reads+writes wide-cell ops,
+    // each accounted on exactly one of {DCAS, validated vread}.
+    assert_eq!(slow.cpu_dcas + slow.vread_fast, reads + writes);
+    assert_eq!(fast.cpu_dcas + fast.vread_fast, reads + writes);
+
+    // The whole point: strictly fewer handler executions and messages.
+    assert!(
+        fast.cpu_dcas < slow.cpu_dcas && fast.am_sent < slow.am_sent,
+        "fast leg must strictly reduce DCAS ({} vs {}) and AMs ({} vs {})",
+        fast.cpu_dcas,
+        slow.cpu_dcas,
+        fast.am_sent,
+        slow.am_sent
     );
 }
 
