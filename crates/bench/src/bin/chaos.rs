@@ -656,6 +656,25 @@ fn main() -> ExitCode {
                 };
             }
             "--quick" => {}
+            "--engine" => {
+                match it.next().expect("--engine takes sim|proc").as_str() {
+                    "sim" => {}
+                    // Fail fast and loud rather than hang: fault injection
+                    // lives in the simulator's virtual NIC (drop/delay/dup
+                    // hooks on the modeled network), which the process
+                    // backend's real TCP transport has no equivalent of.
+                    "proc" => {
+                        eprintln!(
+                            "chaos: --engine proc is not supported — fault injection \
+                             (drops/delays/dups) hooks the simulator's virtual NIC, \
+                             which the process backend's real TCP transport does not \
+                             have; run chaos with --engine sim"
+                        );
+                        std::process::exit(2);
+                    }
+                    other => panic!("unknown engine {other:?} (expected sim|proc)"),
+                }
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }

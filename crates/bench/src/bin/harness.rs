@@ -64,6 +64,10 @@ macro_rules! say {
 
 /// One row of `BENCH_results.json`.
 struct Record {
+    /// Which backend measured the row; everything this binary produces
+    /// inline is `"sim"` (the `--engine proc` path delegates to
+    /// `procbench` orchestration and bypasses [`RECORDS`]).
+    engine: &'static str,
     name: String,
     locales: usize,
     vtime_ns: u64,
@@ -149,6 +153,7 @@ fn row_full(
         name.push_str(extra);
     }
     RECORDS.lock().unwrap().push(Record {
+        engine: "sim",
         name,
         locales: x,
         vtime_ns: s.vtime_ns,
@@ -202,6 +207,7 @@ fn row_reclaim(structure: A8Structure, locales: usize, r: &ReclaimAblation) {
         name.push_str(stall_lbl);
     }
     RECORDS.lock().unwrap().push(Record {
+        engine: "sim",
         name,
         locales,
         vtime_ns: r.sample.vtime_ns,
@@ -220,12 +226,13 @@ fn write_results_json(path: &str) {
     for (i, r) in recs.iter().enumerate() {
         let chaos = r.comm.unwrap_or_default();
         out.push_str(&format!(
-            "  {{\"name\": {}, \"locales\": {}, \"vtime_ns\": {}, \
+            "  {{\"name\": {}, \"engine\": {}, \"locales\": {}, \"vtime_ns\": {}, \
              \"ns_per_op\": {}, \"mops\": {}, \"am_count\": {}, \
              \"retries\": {}, \"gave_up\": {}, \"injected_drops\": {}, \
              \"injected_delays\": {}, \"injected_dups\": {}, \
              \"comm\": {}, \"latency\": {}, \"reclaim\": {}}}{}\n",
             jstr(&r.name),
+            jstr(r.engine),
             r.locales,
             r.vtime_ns,
             jnum(r.ns_per_op),
@@ -616,10 +623,61 @@ fn a10(sc: &Scale) {
     }
 }
 
+/// The `--engine proc` path: instead of simulating, orchestrate real
+/// agent processes (via `pgas_bench::procrun`, same protocol as the
+/// `procbench` binary) over a small locale sweep and write their merged
+/// rows — tagged `engine: "proc"` — as the results file. The sim figures
+/// are not regenerated; validate with `validate_results --engine proc`.
+fn run_proc_engine(quick: bool) {
+    use pgas_bench::procrun::{self, ProcSpec};
+    let ops: u64 = if quick { 512 } else { 4096 };
+    let mut rows = Vec::new();
+    for locales in [2usize, 4] {
+        let spec = ProcSpec {
+            locales,
+            ops,
+            tasks: 2,
+            timeout: std::time::Duration::from_secs(120),
+        };
+        match procrun::orchestrate_self(&spec) {
+            Ok(row) => {
+                say!(
+                    "{:<34} locales={:<3} wall={:>8.1} ms  ns/op={:>9.1}  mops={:>8.2}  AMs={}",
+                    row.name,
+                    row.locales,
+                    row.wall_ns as f64 / 1e6,
+                    row.ns_per_op(),
+                    row.mops(),
+                    row.comm.get("am_sent").copied().unwrap_or(0),
+                );
+                rows.push(row.to_json());
+            }
+            Err(e) => {
+                eprintln!("harness --engine proc: {locales}-locale cell failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let doc = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    match std::fs::write("BENCH_results.json", doc) {
+        Ok(()) => say!("results: BENCH_results.json ({} rows)", rows.len()),
+        Err(e) => {
+            eprintln!("could not write BENCH_results.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    // Re-exec'd as a procbench agent? Run it and exit before touching
+    // argv (the orchestrator spawns `current_exe`, which is us when
+    // `harness --engine proc` orchestrates).
+    pgas_bench::procrun::maybe_run_agent();
+
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut trace_path: Option<String> = None;
+    let mut engine = "sim".to_string();
     let mut selectors: Vec<String> = Vec::new();
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -628,8 +686,19 @@ fn main() {
             "--trace" => {
                 trace_path = Some(it.next().expect("--trace takes a path").clone());
             }
+            "--engine" => {
+                engine = it.next().expect("--engine takes sim|proc").clone();
+                assert!(
+                    matches!(engine.as_str(), "sim" | "proc"),
+                    "unknown engine {engine:?} (expected sim|proc)"
+                );
+            }
             other => selectors.push(other.to_string()),
         }
+    }
+    if engine == "proc" {
+        run_proc_engine(quick);
+        return;
     }
     let sc = if quick { &QUICK } else { &FULL };
     let wants = |name: &str| {

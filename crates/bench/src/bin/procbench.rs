@@ -1,0 +1,77 @@
+//! `procbench`: run the mixed symmetric-heap workload on the **process
+//! backend** — every locale a real OS process, every remote op a real
+//! loopback-TCP round trip — and merge the per-agent results into
+//! `BENCH_results.json`-shaped rows tagged `engine: "proc"`.
+//!
+//! ```text
+//! cargo run -p pgas-bench --release --bin procbench -- --locales 4
+//! cargo run -p pgas-bench --release --bin procbench -- \
+//!     --locales 4 --ops 4096 --tasks 2 --timeout 60 --out BENCH_proc.json
+//! ```
+//!
+//! The orchestrator re-executes this binary once per locale with
+//! `PGAS_PROC_RANK` set (see `pgas_bench::procrun` for the handshake and
+//! teardown protocol). Any agent crash or hang kills and reaps the whole
+//! fleet and exits nonzero.
+
+use std::time::Duration;
+
+use pgas_bench::procrun::{self, ProcSpec};
+
+fn main() {
+    // Re-exec'd as an agent? Run it and exit before looking at argv.
+    procrun::maybe_run_agent();
+
+    let mut spec = ProcSpec::default();
+    let mut out = "BENCH_proc.json".to_string();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} takes a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--locales" => spec.locales = val("--locales").parse().expect("bad --locales"),
+            "--ops" => spec.ops = val("--ops").parse().expect("bad --ops"),
+            "--tasks" => spec.tasks = val("--tasks").parse().expect("bad --tasks"),
+            "--timeout" => {
+                spec.timeout = Duration::from_secs(val("--timeout").parse().expect("bad --timeout"))
+            }
+            "--out" => out = val("--out"),
+            other => {
+                panic!("unknown argument {other:?} (try --locales/--ops/--tasks/--timeout/--out)")
+            }
+        }
+    }
+
+    println!(
+        "procbench: {} locales x {} tasks x {} ops (timeout {:?})",
+        spec.locales, spec.tasks, spec.ops, spec.timeout
+    );
+    let row = match procrun::orchestrate_self(&spec) {
+        Ok(row) => row,
+        Err(e) => {
+            eprintln!("procbench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<34} locales={:<3} wall={:>8.1} ms  ns/op={:>9.1}  mops={:>8.2}  AMs={}",
+        row.name,
+        row.locales,
+        row.wall_ns as f64 / 1e6,
+        row.ns_per_op(),
+        row.mops(),
+        row.comm.get("am_sent").copied().unwrap_or(0),
+    );
+    let doc = format!("[\n  {}\n]\n", row.to_json());
+    match std::fs::write(&out, doc) {
+        Ok(()) => println!("results: {out} (1 row)"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -27,7 +27,10 @@
 //! * the A1 scatter rows and A10 vread rows CI pins are present;
 //! * with `--trace`, every line of the span trace parses, carries the
 //!   causal-identity fields (`trace`, `span`, `parent`), and satisfies
-//!   `issue ≤ arrive ≤ start ≤ end`.
+//!   `issue ≤ arrive ≤ start ≤ end`;
+//! * with `--engine proc`, every row must carry `engine: "proc"` (the
+//!   process-backend rows from `procbench`) and the pinned sim series
+//!   checks are skipped — a proc run regenerates none of the figures.
 
 use std::process::ExitCode;
 
@@ -251,7 +254,7 @@ fn check_row(row: &Value) -> Result<(), String> {
     Ok(())
 }
 
-fn check_results(text: &str) -> Result<usize, String> {
+fn check_results(text: &str, engine: &str) -> Result<usize, String> {
     let doc = parse(text)?;
     let rows = doc.as_arr().ok_or("top level is not an array")?;
     if rows.is_empty() {
@@ -259,6 +262,33 @@ fn check_results(text: &str) -> Result<usize, String> {
     }
     for row in rows {
         check_row(row)?;
+        // The engine tag is optional on sim rows (older files predate it)
+        // but must match the engine under validation when present; a proc
+        // run must tag every row.
+        let name = row.get("name").and_then(Value::as_str).unwrap_or("?");
+        match row.get("engine") {
+            None if engine == "sim" => {}
+            None => {
+                return Err(format!(
+                    "row {name:?}: missing engine tag (expected {engine:?})"
+                ))
+            }
+            Some(v) => {
+                let tag = v
+                    .as_str()
+                    .ok_or_else(|| format!("row {name:?}: engine tag is not a string"))?;
+                if tag != engine {
+                    return Err(format!(
+                        "row {name:?}: engine {tag:?} in a file validated as {engine:?}"
+                    ));
+                }
+            }
+        }
+    }
+    if engine == "proc" {
+        // The pinned sim series below come from the figure harness; a proc
+        // run produces its own (much smaller) set of rows.
+        return Ok(rows.len());
     }
     // The rows CI's perf guard pins must exist under their stable names.
     for series in [
@@ -319,10 +349,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut results_path = None;
     let mut trace_path = None;
+    let mut engine = "sim".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace_path = Some(it.next().expect("--trace takes a path").clone()),
+            "--engine" => {
+                engine = it.next().expect("--engine takes sim|proc").clone();
+                assert!(
+                    matches!(engine.as_str(), "sim" | "proc"),
+                    "unknown engine {engine:?} (expected sim|proc)"
+                );
+            }
             other => results_path = Some(other.to_string()),
         }
     }
@@ -335,7 +373,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check_results(&text) {
+    match check_results(&text, &engine) {
         Ok(n) => println!("validate: {results_path}: {n} rows ok"),
         Err(e) => {
             eprintln!("validate: {results_path}: {e}");

@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 pub mod json;
+pub mod procrun;
 pub mod trace;
 
 /// Process-wide span sink installed on every runtime the workloads build

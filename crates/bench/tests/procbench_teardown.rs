@@ -1,0 +1,75 @@
+//! Orchestrator robustness: a crashing agent must fail the whole
+//! `procbench` run promptly (no hang, no orphans), and a healthy run must
+//! exit cleanly with `engine: "proc"` rows on disk.
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn out_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("procbench_{name}_{}.json", std::process::id()))
+}
+
+#[test]
+fn crashing_agent_fails_the_run_fast() {
+    let out = out_path("crash");
+    let t0 = Instant::now();
+    let result = Command::new(env!("CARGO_BIN_EXE_procbench"))
+        .args(["--locales", "2", "--ops", "256", "--timeout", "20"])
+        .arg("--out")
+        .arg(&out)
+        // Rank 1 exits right after the handshake; the orchestrator must
+        // notice, kill rank 0 (which is stuck in the start barrier), reap
+        // both, and exit nonzero — well before the 20 s deadline.
+        .env("PGAS_PROC_CRASH", "1")
+        .output()
+        .expect("running procbench");
+    let elapsed = t0.elapsed();
+    assert!(
+        !result.status.success(),
+        "procbench must fail when an agent crashes (stdout: {})",
+        String::from_utf8_lossy(&result.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        stderr.contains("procbench failed"),
+        "stderr should name the failure, got: {stderr}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(25),
+        "teardown took {elapsed:?} — the orchestrator hung instead of reaping"
+    );
+    assert!(!out.exists(), "a failed run must not leave a results file");
+}
+
+#[test]
+fn healthy_run_exits_cleanly_with_proc_rows() {
+    let out = out_path("ok");
+    let result = Command::new(env!("CARGO_BIN_EXE_procbench"))
+        .args([
+            "--locales",
+            "2",
+            "--ops",
+            "128",
+            "--tasks",
+            "1",
+            "--timeout",
+            "60",
+        ])
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("running procbench");
+    assert!(
+        result.status.success(),
+        "procbench failed: {}\n{}",
+        String::from_utf8_lossy(&result.stdout),
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let rows = std::fs::read_to_string(&out).expect("results file written");
+    assert!(
+        rows.contains("\"engine\": \"proc\""),
+        "rows must be tagged engine:proc, got: {rows}"
+    );
+    assert!(rows.contains("\"am_count\""), "merged row missing am_count");
+    std::fs::remove_file(&out).ok();
+}

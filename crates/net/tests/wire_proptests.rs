@@ -1,0 +1,132 @@
+//! Property tests for the proc-backend wire format: every message kind
+//! round-trips bit-exactly, and the decoder rejects truncated, padded,
+//! and over-length frames with an error — never a panic.
+//!
+//! The vendored proptest shim has no `prop_oneof`/`Just`, so message
+//! kinds are driven by an integer selector plus raw integer/byte-vector
+//! fields, dispatched through a constructor.
+
+use pgas_net::wire::{self, Msg, WireError, MAX_FRAME};
+use pgas_sim::symheap::SymOp64;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Deterministically build one message of each kind from raw entropy.
+fn build_msg(kind: u8, a: u64, b: u64, c: u64, d: u64, bytes: &[u8]) -> Msg {
+    let op = match a % 5 {
+        0 => SymOp64::Load,
+        1 => SymOp64::Store(b),
+        2 => SymOp64::FetchAdd(b),
+        3 => SymOp64::Exchange(b),
+        _ => SymOp64::Cas {
+            expected: b,
+            new: c,
+        },
+    };
+    let wide1 = ((a as u128) << 64) | b as u128;
+    let wide2 = ((c as u128) << 64) | d as u128;
+    match kind % 10 {
+        0 => Msg::Atomic64 { offset: c, op },
+        1 => Msg::Dcas {
+            offset: a,
+            expected: wide1,
+            new: wide2,
+        },
+        2 => Msg::Get {
+            offset: a,
+            len: b as u32,
+        },
+        3 => Msg::Put {
+            offset: a,
+            data: bytes.to_vec(),
+        },
+        4 => Msg::Handler {
+            id: a as u32,
+            args: bytes.to_vec(),
+        },
+        5 => Msg::ReplyU64(a),
+        6 => Msg::ReplyDcas {
+            ok: a.is_multiple_of(2),
+            current: wide1,
+        },
+        7 => Msg::ReplyBytes(bytes.to_vec()),
+        8 => Msg::ReplyUnit,
+        _ => Msg::ReplyErr(String::from_utf8_lossy(bytes).into_owned()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_every_kind(
+        (kind, seq) in (0u8..10, 0u64..),
+        (a, b, c, d) in (0u64.., 0u64.., 0u64.., 0u64..),
+        bytes in collection::vec(0u8..=255, 0..64),
+    ) {
+        let msg = build_msg(kind, a, b, c, d, &bytes);
+        let payload = wire::encode_payload(seq, &msg);
+        let (dseq, dmsg) = wire::decode_payload(&payload)
+            .expect("encoded payload must decode");
+        prop_assert_eq!(dseq, seq);
+        prop_assert_eq!(dmsg, msg);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic(
+        (kind, seq) in (0u8..10, 0u64..),
+        (a, b, c, d) in (0u64.., 0u64.., 0u64.., 0u64..),
+        bytes in collection::vec(0u8..=255, 0..32),
+        cut_seed in 0usize..,
+    ) {
+        let msg = build_msg(kind, a, b, c, d, &bytes);
+        let payload = wire::encode_payload(seq, &msg);
+        // Any strict prefix must fail to decode, without panicking.
+        let cut = cut_seed % payload.len();
+        prop_assert!(wire::decode_payload(&payload[..cut]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(
+        (kind, seq, junk) in (0u8..10, 0u64.., 1usize..8),
+        (a, b, c, d) in (0u64.., 0u64.., 0u64.., 0u64..),
+        bytes in collection::vec(0u8..=255, 0..32),
+    ) {
+        let msg = build_msg(kind, a, b, c, d, &bytes);
+        let mut payload = wire::encode_payload(seq, &msg);
+        payload.extend(std::iter::repeat_n(0xA5, junk));
+        prop_assert!(matches!(
+            wire::decode_payload(&payload),
+            Err(WireError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn random_bytes_never_panic(
+        payload in collection::vec(0u8..=255, 0..128),
+    ) {
+        // Arbitrary input: decoding may succeed by chance but must never
+        // panic, and success implies a faithful re-encode.
+        if let Ok((seq, msg)) = wire::decode_payload(&payload) {
+            prop_assert_eq!(wire::encode_payload(seq, &msg), payload);
+        }
+    }
+
+    #[test]
+    fn overlength_vec_is_rejected(
+        (seq, offset, excess) in (0u64.., 0u64.., 1u64..1024),
+    ) {
+        // Hand-craft a Put whose length field promises more than
+        // MAX_FRAME: the decoder must refuse before allocating.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.push(3); // Put tag
+        payload.extend_from_slice(&offset.to_le_bytes());
+        let huge = (MAX_FRAME as u64 + excess) as u32;
+        payload.extend_from_slice(&huge.to_le_bytes());
+        prop_assert!(matches!(
+            wire::decode_payload(&payload),
+            Err(WireError::TooLong(_)) | Err(WireError::Truncated)
+        ));
+    }
+}

@@ -103,6 +103,22 @@ impl NetworkConfig {
     }
 }
 
+/// Which communication backend a [`crate::Runtime`] routes remote traffic
+/// through (see [`crate::engine::CommEngine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The in-process simulator backend ([`crate::engine::SimEngine`]):
+    /// every locale lives in this process, costs come from the virtual-time
+    /// model. The default.
+    #[default]
+    Sim,
+    /// A real multi-process transport: each locale is an OS process and
+    /// remote operations cross a wire. The engine object itself lives in a
+    /// separate crate (`pgas-net`); construct the runtime with
+    /// [`crate::Runtime::with_engine`].
+    Proc,
+}
+
 /// Top-level configuration for a [`crate::Runtime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -142,6 +158,16 @@ pub struct RuntimeConfig {
     /// Maximum optimistic attempts a versioned read makes before falling
     /// back to the DCAS slow path. Must be ≥ 1 when `vread_fastpath` is on.
     pub vread_max_tries: u32,
+    /// Which communication backend the runtime uses (see [`EngineKind`]).
+    /// [`EngineKind::Sim`] — the default — is built in;
+    /// [`EngineKind::Proc`] requires constructing the runtime with
+    /// [`crate::Runtime::with_engine`] and a transport engine instance.
+    pub engine: EngineKind,
+    /// Size in bytes of each locale's *symmetric heap* (see
+    /// [`crate::symheap::SymHeap`]): a registered, offset-addressed memory
+    /// region every engine backend can target without exchanging pointers.
+    /// The same offset names the same logical cell on every locale.
+    pub sym_heap_bytes: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -157,6 +183,8 @@ impl Default for RuntimeConfig {
             faults: None,
             vread_fastpath: false,
             vread_max_tries: 4,
+            engine: EngineKind::Sim,
+            sym_heap_bytes: 1 << 20,
         }
     }
 }
@@ -256,6 +284,19 @@ impl RuntimeConfig {
         self
     }
 
+    /// Select the communication backend (see [`EngineKind`]).
+    pub fn with_engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// Override the per-locale symmetric-heap size in bytes (see
+    /// [`Self::sym_heap_bytes`]).
+    pub fn with_sym_heap_bytes(mut self, bytes: usize) -> Self {
+        self.sym_heap_bytes = bytes;
+        self
+    }
+
     /// Validate invariants, panicking with a descriptive message on
     /// misconfiguration.
     pub(crate) fn validate(&self) {
@@ -285,6 +326,10 @@ impl RuntimeConfig {
                 "versioned reads need at least one optimistic attempt"
             );
         }
+        assert!(
+            self.sym_heap_bytes >= 64 && self.sym_heap_bytes.is_multiple_of(8),
+            "symmetric heap must be at least 64 bytes and word-aligned"
+        );
         if let Some(plan) = &self.faults {
             plan.validate(self.num_locales);
         }
@@ -361,6 +406,24 @@ mod tests {
             .with_vread_fastpath(true)
             .with_vread_max_tries(0)
             .validate();
+    }
+
+    #[test]
+    fn engine_defaults_to_sim() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.engine, EngineKind::Sim);
+        assert_eq!(c.sym_heap_bytes, 1 << 20);
+        let c = RuntimeConfig::cluster(4)
+            .with_engine(EngineKind::Proc)
+            .with_sym_heap_bytes(4096);
+        assert_eq!(c.engine, EngineKind::Proc);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric heap")]
+    fn tiny_sym_heap_rejected() {
+        RuntimeConfig::default().with_sym_heap_bytes(8).validate();
     }
 
     #[test]

@@ -147,6 +147,186 @@ pub trait CommEngine: Send + Sync {
         items: u64,
         f: Box<dyn FnOnce() + Send + 'a>,
     );
+
+    // -----------------------------------------------------------------
+    // Symmetric-heap operations: the pointer-free op family every backend
+    // can implement (see [`crate::symheap`]). The defaults express each op
+    // through the routing/execution primitives above, so the simulator's
+    // counters and virtual-time charges are exactly what the equivalent
+    // hand-rolled atomic + AM sequence would have produced. A wire backend
+    // overrides them with real transport calls.
+    // -----------------------------------------------------------------
+
+    /// Execute a 64-bit atomic descriptor against `owner`'s symmetric heap
+    /// at byte offset `offset`, returning the word's previous value (see
+    /// [`crate::symheap::SymOp64`]).
+    fn sym_atomic_u64(
+        &self,
+        core: &RuntimeCore,
+        owner: LocaleId,
+        offset: u64,
+        op: crate::symheap::SymOp64,
+    ) -> u64 {
+        match self.remote_atomic_u64(core, owner) {
+            AtomicPath::CpuLocal | AtomicPath::Nic => core.locale(owner).sym.apply64(offset, op),
+            AtomicPath::ActiveMessage => {
+                let mut out = 0u64;
+                {
+                    let slot = &mut out;
+                    self.on(
+                        core,
+                        owner,
+                        Box::new(move || {
+                            ctx::with_core(|c, _| {
+                                c.engine().handler_atomic_u64(c);
+                                *slot = c.locale(owner).sym.apply64(offset, op);
+                            });
+                        }),
+                    );
+                }
+                out
+            }
+        }
+    }
+
+    /// 128-bit compare-and-swap on the wide seqlock cell at `offset` in
+    /// `owner`'s symmetric heap. Returns `(succeeded, previous value)`.
+    fn sym_dcas_u128(
+        &self,
+        core: &RuntimeCore,
+        owner: LocaleId,
+        offset: u64,
+        expected: u128,
+        new: u128,
+    ) -> (bool, u128) {
+        match self.remote_dcas_u128(core, owner) {
+            AtomicPath::CpuLocal | AtomicPath::Nic => {
+                core.locale(owner).sym.wide_dcas(offset, expected, new)
+            }
+            AtomicPath::ActiveMessage => {
+                let mut out = (false, 0u128);
+                {
+                    let slot = &mut out;
+                    self.on(
+                        core,
+                        owner,
+                        Box::new(move || {
+                            ctx::with_core(|c, _| {
+                                c.engine().handler_dcas_u128(c);
+                                *slot = c.locale(owner).sym.wide_dcas(offset, expected, new);
+                            });
+                        }),
+                    );
+                }
+                out
+            }
+        }
+    }
+
+    /// Read the wide seqlock cell at `offset` in `owner`'s symmetric heap.
+    /// With [`crate::config::RuntimeConfig::vread_fastpath`] enabled this
+    /// attempts the optimistic versioned read first
+    /// ([`Self::remote_vread_u128`]); otherwise — or once the retry budget
+    /// is exhausted — it falls back to a value-preserving
+    /// [`Self::sym_dcas_u128`] round trip (compare against an arbitrary
+    /// expected value; the returned current value is the read).
+    fn sym_read_u128(&self, core: &RuntimeCore, owner: LocaleId, offset: u64) -> u128 {
+        if core.config.vread_fastpath {
+            let heap = &core.locale(owner).sym;
+            let load = || heap.wide_halves(offset);
+            if let Some(v) = self.remote_vread_u128(core, owner, heap.wide_seq(offset), &load) {
+                return v;
+            }
+        }
+        self.sym_dcas_u128(core, owner, offset, 0, 0).1
+    }
+
+    /// One-sided GET of `out.len()` bytes from `owner`'s symmetric heap at
+    /// `offset`. Charged like [`Self::get`] (free and uncounted locally).
+    fn sym_get(&self, core: &RuntimeCore, owner: LocaleId, offset: u64, out: &mut [u8]) {
+        self.get(core, owner, out.len());
+        core.locale(owner).sym.read_bytes(offset, out);
+    }
+
+    /// One-sided PUT of `data` into `owner`'s symmetric heap at `offset`.
+    /// Charged like [`Self::put`] (free and uncounted locally).
+    fn sym_put(&self, core: &RuntimeCore, owner: LocaleId, offset: u64, data: &[u8]) {
+        self.put(core, owner, data.len());
+        core.locale(owner).sym.write_bytes(offset, data);
+    }
+
+    // -----------------------------------------------------------------
+    // Registered-handler remote execution: the closure-free AM family a
+    // process backend can actually ship (see [`crate::handlers`]).
+    // -----------------------------------------------------------------
+
+    /// Execute registered handler `h` on `dest` with `args`, blocking for
+    /// its reply bytes. Counted like [`Self::on`].
+    fn on_handler(
+        &self,
+        core: &RuntimeCore,
+        dest: LocaleId,
+        h: crate::handlers::HandlerId,
+        args: &[u8],
+    ) -> Vec<u8> {
+        let mut out = None;
+        {
+            let slot = &mut out;
+            self.on(
+                core,
+                dest,
+                Box::new(move || {
+                    ctx::with_core(|c, _| {
+                        *slot = Some(crate::handlers::invoke(h, c, args));
+                    });
+                }),
+            );
+        }
+        out.expect("remote handler did not run")
+    }
+
+    /// Fire-and-forget variant of [`Self::on_handler`]: ship the descriptor
+    /// and return a [`Completion`] immediately; the reply bytes are
+    /// discarded. Counted like [`Self::on_async`].
+    fn on_handler_async(
+        &self,
+        core: &RuntimeCore,
+        dest: LocaleId,
+        h: crate::handlers::HandlerId,
+        args: Vec<u8>,
+    ) -> Completion {
+        self.on_async(
+            core,
+            dest,
+            Box::new(move || {
+                ctx::with_core(|c, _| {
+                    let _ = crate::handlers::invoke(h, c, &args);
+                });
+            }),
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // Backend lifecycle.
+    // -----------------------------------------------------------------
+
+    /// The locale [`crate::Runtime::run`] enters on this backend. The
+    /// simulator always enters locale 0 (it owns all locales); a process
+    /// backend enters the one locale this OS process *is*.
+    fn entry_locale(&self) -> LocaleId {
+        0
+    }
+
+    /// Called once, right after the runtime core is constructed, with the
+    /// owning `Arc`. A transport backend uses this to start its progress
+    /// service with a [`std::sync::Weak`] back-reference; the simulator
+    /// needs nothing.
+    fn bind(&self, _core: &std::sync::Arc<RuntimeCore>) {}
+
+    /// Called from the runtime's `Drop` before the simulator's own AM
+    /// shutdown: stop progress services, close sockets, join threads. Must
+    /// be idempotent.
+    fn shutdown(&self) {}
 }
 
 /// The in-process backend: routes through the simulated NIC cost tables
@@ -213,6 +393,7 @@ impl CommEngine for SimEngine {
         Completion {
             rx: Some((tx, rx, core.config.network.am_wire_ns)),
             ready: None,
+            waiter: None,
         }
     }
 
@@ -254,6 +435,19 @@ impl CommEngine for SimEngine {
     }
 }
 
+/// Backend-supplied completion source for [`Completion::from_waiter`]: a
+/// transport engine that cannot use the simulator's in-process reply
+/// channels (a socket awaiting a reply frame, say) implements this pair of
+/// poll/block primitives instead.
+pub trait CompletionWaiter: Send {
+    /// Non-blocking: has the remote handler finished?
+    fn poll(&mut self) -> bool;
+
+    /// Block until the remote handler has finished, propagating a remote
+    /// panic by panicking here.
+    fn wait(self: Box<Self>);
+}
+
 /// Handle to a fire-and-forget [`CommEngine::on_async`] call.
 ///
 /// Dropping the handle abandons the result (the handler still runs);
@@ -273,6 +467,9 @@ pub struct Completion {
     )>,
     /// A reply already taken off the channel by [`Completion::completed`].
     ready: Option<am::Reply>,
+    /// Backend-supplied completion source (see [`CompletionWaiter`]);
+    /// exclusive with `rx`.
+    waiter: Option<Box<dyn CompletionWaiter>>,
 }
 
 impl Completion {
@@ -280,12 +477,32 @@ impl Completion {
         Completion {
             rx: None,
             ready: None,
+            waiter: None,
+        }
+    }
+
+    /// An already-complete handle, for calls a backend ran inline.
+    pub fn done() -> Completion {
+        Completion::ready()
+    }
+
+    /// A handle driven by a backend-supplied [`CompletionWaiter`] (used by
+    /// transport engines whose replies arrive over a wire rather than the
+    /// simulator's in-process channels).
+    pub fn from_waiter(w: Box<dyn CompletionWaiter>) -> Completion {
+        Completion {
+            rx: None,
+            ready: None,
+            waiter: Some(w),
         }
     }
 
     /// True once the remote handler has finished (non-blocking poll). Does
     /// not advance the caller's clock — only [`Completion::wait`] does.
     pub fn completed(&mut self) -> bool {
+        if let Some(w) = &mut self.waiter {
+            return w.poll();
+        }
         if self.ready.is_some() {
             return true;
         }
@@ -305,6 +522,9 @@ impl Completion {
     /// to the completion time plus the reply wire latency, and propagate
     /// any handler panic.
     pub fn wait(mut self) {
+        if let Some(w) = self.waiter.take() {
+            return w.wait();
+        }
         let Some((tx, rx, wire_ns)) = self.rx.take() else {
             return;
         };
@@ -326,7 +546,7 @@ impl Completion {
 impl std::fmt::Debug for Completion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Completion")
-            .field("pending", &self.rx.is_some())
+            .field("pending", &(self.rx.is_some() || self.waiter.is_some()))
             .finish()
     }
 }

@@ -59,22 +59,25 @@ pub mod ctx;
 pub mod engine;
 pub mod faults;
 pub mod globalptr;
+pub mod handlers;
 pub mod heap;
 pub mod locale;
 pub mod privatized;
 pub mod reduce;
 pub mod runtime;
 pub mod stats;
+pub mod symheap;
 pub mod telemetry;
 pub mod vtime;
 
 pub use array::{Dist, DistArray};
 pub use barrier::DistBarrier;
-pub use config::{NetworkConfig, PointerMode, RuntimeConfig};
+pub use config::{EngineKind, NetworkConfig, PointerMode, RuntimeConfig};
 pub use ctx::{current_runtime, here, try_here};
-pub use engine::{AtomicPath, Batcher, CommEngine, Completion};
+pub use engine::{AtomicPath, Batcher, CommEngine, Completion, CompletionWaiter};
 pub use faults::{FaultPlan, OpClass, RetryPolicy};
 pub use globalptr::{GlobalPtr, LocaleId, WideGlobalPtr};
+pub use handlers::HandlerId;
 pub use heap::{
     alloc_local, alloc_on, free, free_erased, free_erased_batch, free_erased_local_batch, Erased,
 };
@@ -83,4 +86,5 @@ pub use privatized::Privatized;
 pub use reduce::{all_locales, any_locales, max_locales, min_locales, reduce_locales, sum_locales};
 pub use runtime::{Runtime, RuntimeCore, RuntimeHandle};
 pub use stats::{CommSnapshot, CommStats, HeapStats};
+pub use symheap::{SymHeap, SymOp64};
 pub use telemetry::TelemetrySnapshot;

@@ -114,6 +114,10 @@ pub struct Locale {
     pub stats: Registry,
     /// Allocation accounting for objects whose affinity is this locale.
     pub heap: HeapStats,
+    /// This locale's symmetric heap: the offset-addressed registered
+    /// region engine backends target without exchanging pointers (see
+    /// [`crate::symheap`]).
+    pub sym: crate::symheap::SymHeap,
     /// Server slots of this locale's AM service (one per progress thread;
     /// they model the serialization of active-message handling).
     pub(crate) server: ServerSlots,
@@ -150,11 +154,13 @@ impl Locale {
         num_locales: usize,
         am_tx: Sender<AmMsg>,
         am_slowdown: u64,
+        sym_heap_bytes: usize,
     ) -> Self {
         Locale {
             id,
             stats: Registry::default(),
             heap: HeapStats::default(),
+            sym: crate::symheap::SymHeap::new(sym_heap_bytes),
             server: ServerSlots::new(progress_threads),
             combine: CombineHub::new(num_locales),
             am_tx,

@@ -99,8 +99,34 @@ impl Deref for RuntimeHandle {
 }
 
 impl Runtime {
-    /// Start a runtime with `config.num_locales` simulated locales.
+    /// Start a runtime with `config.num_locales` simulated locales, using
+    /// the in-process [`SimEngine`] backend.
+    ///
+    /// # Panics
+    /// If `config.engine` selects a non-simulator backend: transport
+    /// engines are external objects and must come in through
+    /// [`Runtime::with_engine`] (the `pgas-net` crate provides
+    /// `ProcEngine`).
     pub fn new(config: RuntimeConfig) -> Runtime {
+        assert!(
+            config.engine == crate::config::EngineKind::Sim,
+            "RuntimeConfig::engine is {:?}: construct this backend \
+             explicitly with Runtime::with_engine (e.g. pgas_net::ProcEngine)",
+            config.engine
+        );
+        Runtime::build(config, Box::new(SimEngine), true)
+    }
+
+    /// Start a runtime around an externally constructed [`CommEngine`]
+    /// backend. No simulator progress threads are spawned: the engine owns
+    /// its own progress service (started from [`CommEngine::bind`]), and
+    /// [`RuntimeCore::run`] enters the engine's
+    /// [`CommEngine::entry_locale`] instead of locale 0.
+    pub fn with_engine(config: RuntimeConfig, engine: Box<dyn CommEngine>) -> Runtime {
+        Runtime::build(config, engine, false)
+    }
+
+    fn build(config: RuntimeConfig, engine: Box<dyn CommEngine>, sim_progress: bool) -> Runtime {
         config.validate();
         let mut receivers = Vec::with_capacity(config.num_locales);
         let core = Arc::new_cyclic(|self_weak| {
@@ -118,6 +144,7 @@ impl Runtime {
                         config.num_locales,
                         tx,
                         am_slowdown,
+                        config.sym_heap_bytes,
                     )
                 })
                 .collect();
@@ -125,7 +152,7 @@ impl Runtime {
             RuntimeCore {
                 config,
                 locales,
-                engine: Box::new(SimEngine),
+                engine,
                 faults,
                 telemetry_sink: OnceLock::new(),
                 shutdown: AtomicBool::new(false),
@@ -133,18 +160,21 @@ impl Runtime {
             }
         });
         let mut progress = Vec::new();
-        for (id, rx) in receivers.into_iter().enumerate() {
-            for t in 0..core.config.progress_threads {
-                let core = Arc::clone(&core);
-                let rx = rx.clone();
-                progress.push(
-                    std::thread::Builder::new()
-                        .name(format!("pgas-progress-{id}.{t}"))
-                        .spawn(move || am::progress_loop(core, id as LocaleId, rx))
-                        .expect("failed to spawn progress thread"),
-                );
+        if sim_progress {
+            for (id, rx) in receivers.into_iter().enumerate() {
+                for t in 0..core.config.progress_threads {
+                    let core = Arc::clone(&core);
+                    let rx = rx.clone();
+                    progress.push(
+                        std::thread::Builder::new()
+                            .name(format!("pgas-progress-{id}.{t}"))
+                            .spawn(move || am::progress_loop(core, id as LocaleId, rx))
+                            .expect("failed to spawn progress thread"),
+                    );
+                }
             }
         }
+        core.engine.bind(&core);
         Runtime { core, progress }
     }
 
@@ -168,6 +198,9 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        // External engines first: their progress threads hold a Weak to the
+        // core and must be joined before the AM channels close.
+        self.core.engine.shutdown();
         self.core.shutdown.store(true, Ordering::SeqCst);
         for locale in self.core.locales.iter() {
             for _ in 0..self.core.config.progress_threads {
@@ -228,14 +261,29 @@ impl RuntimeCore {
             .expect("active-message queue closed");
     }
 
-    /// Enter the runtime on locale 0 and execute `f` on the calling thread.
-    /// This is the moral equivalent of Chapel's `main`. The task-local
-    /// virtual clock starts at zero when entering from outside.
+    /// Enter the runtime on the engine's entry locale (locale 0 for the
+    /// simulator, the process's own rank for a transport backend) and
+    /// execute `f` on the calling thread. This is the moral equivalent of
+    /// Chapel's `main`. The task-local virtual clock starts at zero when
+    /// entering from outside.
     pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.run_on(self.engine.entry_locale(), f)
+    }
+
+    /// Enter the runtime on a specific locale and execute `f` on the
+    /// calling thread. This is how an engine backend's progress threads
+    /// establish the runtime context before invoking handlers; ordinary
+    /// code wants [`RuntimeCore::run`].
+    pub fn run_on<R>(&self, locale: LocaleId, f: impl FnOnce() -> R) -> R {
+        assert!(
+            (locale as usize) < self.locales.len(),
+            "locale {locale} out of range (runtime has {} locales)",
+            self.locales.len()
+        );
         let fresh = ctx::try_here().is_none();
         // SAFETY: `self` is borrowed for the duration of the call and the
         // guard is dropped before it returns.
-        let _g = unsafe { ctx::enter(self as *const RuntimeCore, 0) };
+        let _g = unsafe { ctx::enter(self as *const RuntimeCore, locale) };
         if fresh {
             vtime::set(0);
         }

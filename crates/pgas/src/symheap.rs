@@ -1,0 +1,424 @@
+//! The *symmetric heap*: a registered, offset-addressed memory region on
+//! every locale.
+//!
+//! Real PGAS transports (SHMEM, GASNet, ibverbs) cannot ship raw pointers
+//! between processes — remote memory is named by an *offset* into a region
+//! that every rank registered at startup, in the same order, so the same
+//! offset denotes the same logical cell everywhere. The simulator never
+//! needed this (all locales share one address space), but a process
+//! backend does, so [`SymHeap`] is the common currency both engines can
+//! target: the sim applies operations directly to the owner locale's heap,
+//! while `pgas-net` serializes `(offset, op)` descriptors onto the wire.
+//!
+//! Three access granularities:
+//!
+//! * **64-bit words** — [`SymHeap::word`] exposes an `AtomicU64`;
+//!   [`SymHeap::apply64`] interprets a [`SymOp64`] descriptor against it.
+//! * **Wide (128-bit) cells** — a 24-byte `[seq][lo][hi]` seqlock cell
+//!   (same discipline as `pgas-atomics`' versioned wide atomics):
+//!   [`SymHeap::wide_dcas`] flips the sequence odd while writing and
+//!   [`SymHeap::wide_load`] spins for a stable even sequence.
+//!   [`SymHeap::wide_halves`] reads the two halves *non-atomically* — the
+//!   torn-window primitive versioned fast reads validate against.
+//! * **Bytes** — [`SymHeap::read_bytes`]/[`SymHeap::write_bytes`] model
+//!   one-sided PUT/GET payloads. They move whole words relaxed with
+//!   masking at the edges, so concurrent byte traffic is racy-but-defined,
+//!   exactly like real RDMA.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A 64-bit atomic operation descriptor against a symmetric-heap word.
+///
+/// This is the unit that crosses engine backends: the sim applies it
+/// in-process, the process backend serializes it onto the wire. Every
+/// variant returns the word's *previous* value (for [`SymOp64::Load`] the
+/// current value; for [`SymOp64::Cas`] the caller compares the return
+/// against `expected` to learn success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymOp64 {
+    /// Read the word.
+    Load,
+    /// Store the operand, returning the previous value.
+    Store(u64),
+    /// Atomic fetch-and-add, returning the previous value.
+    FetchAdd(u64),
+    /// Atomic exchange, returning the previous value.
+    Exchange(u64),
+    /// Atomic compare-and-swap; succeeded iff the returned previous value
+    /// equals `expected`.
+    Cas {
+        /// Value the word must hold for the swap to happen.
+        expected: u64,
+        /// Value written on success.
+        new: u64,
+    },
+}
+
+/// Bytes occupied by a wide (128-bit seqlock) cell: `[seq][lo][hi]`.
+pub const WIDE_CELL_BYTES: usize = 24;
+
+/// One locale's symmetric heap (see the module docs).
+///
+/// Offsets are byte offsets, 8-aligned for word and wide-cell accessors.
+/// The heap is zero-initialized; a zeroed wide cell is a valid (even
+/// sequence, value 0) seqlock cell, so no initialization round trip is
+/// needed before first use.
+pub struct SymHeap {
+    words: Box<[AtomicU64]>,
+    cursor: AtomicUsize,
+}
+
+impl std::fmt::Debug for SymHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymHeap")
+            .field("bytes", &(self.words.len() * 8))
+            .field("allocated", &self.cursor.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SymHeap {
+    /// Allocate a zeroed heap of `bytes` (rounded up to whole words).
+    pub fn new(bytes: usize) -> SymHeap {
+        let words = bytes.div_ceil(8);
+        SymHeap {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Bump-allocate `bytes` (rounded up to a word multiple), returning the
+    /// byte offset of the block. Symmetric allocation relies on every
+    /// locale performing the same `alloc` calls in the same order, which is
+    /// exactly the SHMEM `shmem_malloc` collective contract. Panics when
+    /// the heap is exhausted.
+    pub fn alloc(&self, bytes: usize) -> u64 {
+        let take = bytes.div_ceil(8) * 8;
+        let off = self.cursor.fetch_add(take, Ordering::Relaxed);
+        assert!(
+            off + take <= self.len_bytes(),
+            "symmetric heap exhausted: {} + {} > {} bytes (raise \
+             RuntimeConfig::sym_heap_bytes)",
+            off,
+            take,
+            self.len_bytes()
+        );
+        off as u64
+    }
+
+    /// The word at byte offset `off` (must be 8-aligned and in range).
+    pub fn word(&self, off: u64) -> &AtomicU64 {
+        assert!(
+            off.is_multiple_of(8),
+            "symmetric-heap word offset {off} not 8-aligned"
+        );
+        &self.words[(off / 8) as usize]
+    }
+
+    /// Apply a [`SymOp64`] descriptor to the word at `off`, returning the
+    /// previous value (see the enum docs for per-variant semantics).
+    pub fn apply64(&self, off: u64, op: SymOp64) -> u64 {
+        let w = self.word(off);
+        match op {
+            SymOp64::Load => w.load(Ordering::SeqCst),
+            SymOp64::Store(v) => w.swap(v, Ordering::SeqCst),
+            SymOp64::FetchAdd(v) => w.fetch_add(v, Ordering::SeqCst),
+            SymOp64::Exchange(v) => w.swap(v, Ordering::SeqCst),
+            SymOp64::Cas { expected, new } => {
+                match w.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
+                    Ok(prev) => prev,
+                    Err(prev) => prev,
+                }
+            }
+        }
+    }
+
+    // --- wide (128-bit seqlock) cells: [seq][lo][hi] at a 24-byte block ---
+
+    /// The sequence word of the wide cell at `off`.
+    pub fn wide_seq(&self, off: u64) -> &AtomicU64 {
+        self.word(off)
+    }
+
+    /// Read the two 64-bit halves of the wide cell *without* seqlock
+    /// validation — two independent relaxed loads, so a concurrent
+    /// [`SymHeap::wide_dcas`] can tear the result. This is the raw `load`
+    /// primitive versioned fast reads wrap with sequence validation.
+    pub fn wide_halves(&self, off: u64) -> u128 {
+        let lo = self.word(off + 8).load(Ordering::Acquire) as u128;
+        let hi = self.word(off + 16).load(Ordering::Acquire) as u128;
+        (hi << 64) | lo
+    }
+
+    /// Seqlock-stable read of the wide cell at `off`: spins until a read
+    /// straddles no writer (even, unchanged sequence).
+    pub fn wide_load(&self, off: u64) -> u128 {
+        let seq = self.wide_seq(off);
+        loop {
+            let s1 = seq.load(Ordering::Acquire);
+            if !s1.is_multiple_of(2) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let v = self.wide_halves(off);
+            if seq.load(Ordering::Acquire) == s1 {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// 128-bit compare-and-swap on the wide cell at `off`, serialized
+    /// through the cell's sequence word: the winning writer flips the
+    /// sequence odd, compares-and-maybe-writes the halves, and publishes an
+    /// even sequence again (bumped by 2 whether or not the compare
+    /// succeeded, so optimistic readers that overlapped the window always
+    /// retry). Returns `(succeeded, previous value)`.
+    pub fn wide_dcas(&self, off: u64, expected: u128, new: u128) -> (bool, u128) {
+        let seq = self.wide_seq(off);
+        loop {
+            let s = seq.load(Ordering::Acquire);
+            if !s.is_multiple_of(2) {
+                std::hint::spin_loop();
+                continue;
+            }
+            if seq
+                .compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                std::hint::spin_loop();
+                continue;
+            }
+            // Writer section: we hold the odd sequence.
+            let cur = ((self.word(off + 16).load(Ordering::Relaxed) as u128) << 64)
+                | self.word(off + 8).load(Ordering::Relaxed) as u128;
+            let ok = cur == expected;
+            if ok {
+                self.word(off + 8).store(new as u64, Ordering::Relaxed);
+                self.word(off + 16)
+                    .store((new >> 64) as u64, Ordering::Relaxed);
+            }
+            seq.store(s + 2, Ordering::Release);
+            return (ok, cur);
+        }
+    }
+
+    // --- byte-granular one-sided access ---
+
+    /// Copy `out.len()` bytes starting at byte offset `off` into `out`.
+    /// Word-sized relaxed loads with masking at the edges: concurrent
+    /// writers can interleave at word granularity, which is the real
+    /// one-sided GET contract.
+    pub fn read_bytes(&self, off: u64, out: &mut [u8]) {
+        let off = off as usize;
+        assert!(
+            off + out.len() <= self.len_bytes(),
+            "symmetric-heap read out of range"
+        );
+        for (i, byte) in out.iter_mut().enumerate() {
+            let pos = off + i;
+            let w = self.words[pos / 8].load(Ordering::Acquire);
+            *byte = w.to_le_bytes()[pos % 8];
+        }
+    }
+
+    /// Copy `data` into the heap starting at byte offset `off`. Partial
+    /// words are updated with a CAS loop over the containing word so
+    /// neighbouring bytes are preserved.
+    pub fn write_bytes(&self, off: u64, data: &[u8]) {
+        let off = off as usize;
+        assert!(
+            off + data.len() <= self.len_bytes(),
+            "symmetric-heap write out of range"
+        );
+        let mut i = 0;
+        while i < data.len() {
+            let pos = off + i;
+            let word = &self.words[pos / 8];
+            let lane = pos % 8;
+            let take = (8 - lane).min(data.len() - i);
+            if take == 8 {
+                word.store(
+                    u64::from_le_bytes(data[i..i + 8].try_into().unwrap()),
+                    Ordering::Release,
+                );
+            } else {
+                let mut cur = word.load(Ordering::Acquire);
+                loop {
+                    let mut bytes = cur.to_le_bytes();
+                    bytes[lane..lane + take].copy_from_slice(&data[i..i + take]);
+                    match word.compare_exchange_weak(
+                        cur,
+                        u64::from_le_bytes(bytes),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => break,
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            i += take;
+        }
+    }
+}
+
+// --- task-facing facade -------------------------------------------------
+//
+// Free functions callable from inside any runtime task (they resolve the
+// current runtime through [`crate::ctx`]); each forwards to the active
+// [`crate::engine::CommEngine`]'s symmetric-heap operation, so the same
+// scenario code runs unchanged on the simulator and on a process backend.
+
+/// Apply a 64-bit atomic `op` to `owner`'s symmetric heap at `offset`;
+/// returns the previous value.
+pub fn atomic(owner: crate::LocaleId, offset: u64, op: SymOp64) -> u64 {
+    crate::ctx::with_core(|c, _| c.engine().sym_atomic_u64(c, owner, offset, op))
+}
+
+/// Fetch-add on `owner`'s symmetric heap word at `offset` (returns the
+/// previous value).
+pub fn fetch_add(owner: crate::LocaleId, offset: u64, delta: u64) -> u64 {
+    atomic(owner, offset, SymOp64::FetchAdd(delta))
+}
+
+/// Load `owner`'s symmetric heap word at `offset`.
+pub fn load(owner: crate::LocaleId, offset: u64) -> u64 {
+    atomic(owner, offset, SymOp64::Load)
+}
+
+/// Double-width CAS on the versioned wide cell at `offset` of `owner`'s
+/// symmetric heap; returns `(succeeded, value seen)`.
+pub fn dcas(owner: crate::LocaleId, offset: u64, expected: u128, new: u128) -> (bool, u128) {
+    crate::ctx::with_core(|c, _| c.engine().sym_dcas_u128(c, owner, offset, expected, new))
+}
+
+/// Read the wide cell at `offset` of `owner`'s symmetric heap (versioned
+/// fast path when enabled, DCAS slow path otherwise).
+pub fn read_wide(owner: crate::LocaleId, offset: u64) -> u128 {
+    crate::ctx::with_core(|c, _| c.engine().sym_read_u128(c, owner, offset))
+}
+
+/// One-sided GET from `owner`'s symmetric heap into `out`.
+pub fn get(owner: crate::LocaleId, offset: u64, out: &mut [u8]) {
+    crate::ctx::with_core(|c, _| c.engine().sym_get(c, owner, offset, out))
+}
+
+/// One-sided PUT of `data` into `owner`'s symmetric heap.
+pub fn put(owner: crate::LocaleId, offset: u64, data: &[u8]) {
+    crate::ctx::with_core(|c, _| c.engine().sym_put(c, owner, offset, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_word_aligned_and_monotone() {
+        let h = SymHeap::new(256);
+        assert_eq!(h.alloc(8), 0);
+        assert_eq!(h.alloc(3), 8, "3 bytes rounds up to one word");
+        assert_eq!(h.alloc(24), 16);
+        assert_eq!(h.len_bytes(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric heap exhausted")]
+    fn alloc_past_capacity_panics() {
+        let h = SymHeap::new(64);
+        h.alloc(64);
+        h.alloc(8);
+    }
+
+    #[test]
+    fn apply64_descriptors() {
+        let h = SymHeap::new(64);
+        let off = h.alloc(8);
+        assert_eq!(h.apply64(off, SymOp64::Load), 0);
+        assert_eq!(h.apply64(off, SymOp64::Store(7)), 0);
+        assert_eq!(h.apply64(off, SymOp64::FetchAdd(5)), 7);
+        assert_eq!(h.apply64(off, SymOp64::Exchange(100)), 12);
+        // failed CAS returns the unswapped current value
+        assert_eq!(
+            h.apply64(
+                off,
+                SymOp64::Cas {
+                    expected: 1,
+                    new: 2
+                }
+            ),
+            100
+        );
+        // successful CAS returns the expected value
+        assert_eq!(
+            h.apply64(
+                off,
+                SymOp64::Cas {
+                    expected: 100,
+                    new: 2
+                }
+            ),
+            100
+        );
+        assert_eq!(h.apply64(off, SymOp64::Load), 2);
+    }
+
+    #[test]
+    fn wide_dcas_and_load_round_trip() {
+        let h = SymHeap::new(64);
+        let off = h.alloc(WIDE_CELL_BYTES);
+        assert_eq!(h.wide_load(off), 0);
+        let v = (7u128 << 64) | 9;
+        assert_eq!(h.wide_dcas(off, 0, v), (true, 0));
+        assert_eq!(h.wide_load(off), v);
+        // failed compare leaves the value but still bumps the sequence
+        let s0 = h.wide_seq(off).load(Ordering::Relaxed);
+        assert_eq!(h.wide_dcas(off, 1, 2), (false, v));
+        assert_eq!(h.wide_load(off), v);
+        assert_eq!(h.wide_seq(off).load(Ordering::Relaxed), s0 + 2);
+    }
+
+    #[test]
+    fn byte_access_preserves_neighbours() {
+        let h = SymHeap::new(64);
+        let off = h.alloc(16);
+        h.write_bytes(off, &[0xAA; 16]);
+        h.write_bytes(off + 3, &[0x11, 0x22, 0x33]);
+        let mut out = [0u8; 16];
+        h.read_bytes(off, &mut out);
+        assert_eq!(out[2], 0xAA);
+        assert_eq!(&out[3..6], &[0x11, 0x22, 0x33]);
+        assert_eq!(out[6], 0xAA);
+    }
+
+    #[test]
+    fn concurrent_wide_dcas_never_tears_stable_reads() {
+        use std::sync::Arc;
+        let h = Arc::new(SymHeap::new(64));
+        let off = h.alloc(WIDE_CELL_BYTES);
+        let writer = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                let mut cur = 0u128;
+                for i in 1..2000u128 {
+                    // write mirrored halves so tearing is detectable
+                    let v = (i << 64) | i;
+                    let (ok, prev) = h.wide_dcas(off, cur, v);
+                    assert!(ok, "single writer must always succeed");
+                    assert_eq!(prev, cur);
+                    cur = v;
+                }
+            })
+        };
+        for _ in 0..2000 {
+            let v = h.wide_load(off);
+            assert_eq!(v as u64, (v >> 64) as u64, "stable read tore: {v:#x}");
+        }
+        writer.join().unwrap();
+    }
+}

@@ -30,6 +30,17 @@
 //! accounted on exactly one counter, and the fast leg must retire strictly
 //! fewer DCAS executions and active messages — reads migrate onto
 //! one-sided GETs while writes keep the DCAS.
+//!
+//! Finally, the **sim-vs-proc** legs drive one symmetric-heap workload
+//! through both `CommEngine` backends — the simulator, and
+//! [`pgas_net::ProcEngine`] with every locale's engine wired over real
+//! loopback TCP inside this test process. Identical memory effects on
+//! every rank's heap; deterministic counters (atomics, DCAS, GET/PUT
+//! bytes, handler AMs) must agree *exactly* (modulo the three `on`
+//! wrappers the sim driver needs to hop locales); timing-dependent
+//! telemetry (wall-clock latency histograms) must be nonzero and ordered
+//! on the proc side, where the simulator records virtual-time samples
+//! instead.
 
 use pgas_nonblocking::prelude::*;
 use pgas_nonblocking::sim::CommSnapshot;
@@ -261,6 +272,256 @@ fn versioned_read_leg_matches_dcas_read_effects() {
         fast.am_sent,
         slow.am_sent
     );
+}
+
+// --- sim vs proc: the same symmetric-heap workload on both backends ----
+
+mod simproc {
+    use super::*;
+    use pgas_net::ProcEngine;
+    use pgas_nonblocking::sim::symheap::{self, SymOp64};
+    use pgas_nonblocking::sim::telemetry::OpClass;
+    use pgas_nonblocking::sim::{handlers, EngineKind, HandlerId, RuntimeCore};
+    use std::net::TcpListener;
+
+    // Identical fixed layout on every rank's (zeroed) symmetric heap.
+    const OFF_COUNTER: u64 = 0;
+    const OFF_WIDE: u64 = 8; // 24-byte versioned wide cell
+    const OFF_BUF: u64 = 32; // 64-byte GET/PUT buffer
+    const BUF_LEN: usize = 64;
+    const OPS: u64 = 48;
+    const RANKS: usize = 4;
+
+    /// `args = [delta: u64 LE][offset: u64 LE]` — fetch-add into the local
+    /// heap, reply with the previous value.
+    fn parity_add(core: &RuntimeCore, args: &[u8]) -> Vec<u8> {
+        let delta = u64::from_le_bytes(args[0..8].try_into().unwrap());
+        let offset = u64::from_le_bytes(args[8..16].try_into().unwrap());
+        let here = pgas_nonblocking::sim::here();
+        core.locale(here)
+            .sym
+            .apply64(offset, SymOp64::FetchAdd(delta))
+            .to_le_bytes()
+            .to_vec()
+    }
+
+    /// One rank's deterministic op mix against the *next* rank's heap
+    /// (single-writer discipline, so DCAS successes and final memory are
+    /// exact). Engine-portable: only symmetric-heap ops and registered
+    /// handlers, never raw pointers or closures.
+    fn rank_ops(rank: u16, add_id: HandlerId) {
+        let owner = (rank + 1) % RANKS as u16;
+        let mut args = [0u8; 16];
+        args[0..8].copy_from_slice(&1u64.to_le_bytes());
+        args[8..16].copy_from_slice(&OFF_COUNTER.to_le_bytes());
+        let mut buf = [0u8; BUF_LEN];
+        let data = [rank as u8; BUF_LEN];
+        let mut mirror = 0u128;
+        let mut pending = Vec::new();
+        for i in 0..OPS {
+            match i % 4 {
+                0 => {
+                    symheap::fetch_add(owner, OFF_COUNTER, 1);
+                }
+                1 => {
+                    // Sole writer to this cell: the CAS must succeed.
+                    let (ok, _) = symheap::dcas(owner, OFF_WIDE, mirror, mirror + 1);
+                    assert!(ok, "single-writer DCAS cannot fail");
+                    mirror += 1;
+                }
+                2 => {
+                    symheap::get(owner, OFF_BUF, &mut buf);
+                }
+                _ => {
+                    symheap::put(owner, OFF_BUF, &data);
+                }
+            }
+            if i % 8 == 0 {
+                let prev = handlers::call(owner, add_id, &args);
+                assert_eq!(prev.len(), 8, "handler replies the previous value");
+            }
+            if i % 16 == 0 {
+                pending.push(handlers::call_async(owner, add_id, args.to_vec()));
+            }
+        }
+        for c in pending {
+            c.wait();
+        }
+    }
+
+    /// Per-rank expected memory after all ranks ran `rank_ops`.
+    /// 12 fetch-adds + 6 sync + 3 async handler adds land on the counter;
+    /// 12 single-writer DCAS increments land on the wide cell; the buffer
+    /// holds the previous rank's fill pattern.
+    fn check_memory(heap: &pgas_nonblocking::sim::SymHeap, rank: usize, backend: &str) {
+        let prev = (rank + RANKS - 1) % RANKS;
+        assert_eq!(
+            heap.word(OFF_COUNTER)
+                .load(std::sync::atomic::Ordering::SeqCst),
+            12 + 6 + 3,
+            "{backend}: rank {rank} counter word"
+        );
+        assert_eq!(
+            heap.wide_load(OFF_WIDE),
+            12,
+            "{backend}: rank {rank} wide cell"
+        );
+        let mut buf = [0u8; BUF_LEN];
+        heap.read_bytes(OFF_BUF, &mut buf);
+        assert_eq!(
+            buf, [prev as u8; BUF_LEN],
+            "{backend}: rank {rank} buffer holds rank {prev}'s pattern"
+        );
+    }
+
+    /// Expected deterministic counters for one backend run (all four
+    /// ranks): per rank 12 remote atomics, 12 remote DCAS, 12 GETs, 12
+    /// PUTs, 6+3 handler calls.
+    fn check_counters(c: &CommSnapshot, on_hops: u64, backend: &str) {
+        let n = RANKS as u64;
+        assert_eq!(c.am_sent, n * (12 + 12 + 9) + on_hops, "{backend}: am_sent");
+        assert_eq!(c.am_handled, c.am_sent, "{backend}: every AM handled");
+        assert_eq!(c.cpu_atomics, n * 12, "{backend}: owner-side atomics");
+        assert_eq!(c.cpu_dcas, n * 12, "{backend}: owner-side DCAS");
+        assert_eq!(c.gets, n * 12, "{backend}: one-sided GETs");
+        assert_eq!(c.puts, n * 12, "{backend}: one-sided PUTs");
+        assert_eq!(c.bytes_got, n * 12 * BUF_LEN as u64, "{backend}: GET bytes");
+        assert_eq!(c.bytes_put, n * 12 * BUF_LEN as u64, "{backend}: PUT bytes");
+        assert_eq!(c.rdma_atomics, 0, "{backend}: no NIC on either leg");
+        assert_eq!(
+            (c.vread_fast, c.vread_retries, c.vread_fallbacks),
+            (0, 0, 0),
+            "{backend}: no versioned reads in this workload"
+        );
+    }
+
+    #[test]
+    fn sim_and_proc_engines_agree_on_symmetric_heap_workload() {
+        let add_id = handlers::register("parity.add", parity_add);
+
+        // --- sim leg: one runtime, the driver hops locales with `on`.
+        let sim_rt = Runtime::new(RuntimeConfig::cluster(RANKS).without_network_atomics());
+        sim_rt.run(|| {
+            sim_rt.reset_metrics();
+            for l in 0..RANKS as u16 {
+                sim_rt.on(l, || rank_ops(l, add_id));
+            }
+        });
+        let sim = sim_rt.total_comm();
+        for rank in 0..RANKS {
+            check_memory(&sim_rt.locale(rank as u16).sym, rank, "sim");
+        }
+
+        // --- proc leg: four engines over real loopback TCP, one runtime
+        // per rank, all inside this process.
+        let listeners: Vec<TcpListener> = (0..RANKS)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+            .collect();
+        let peers: Vec<std::net::SocketAddr> =
+            listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let runtimes: Vec<Runtime> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(r, listener)| {
+                Runtime::with_engine(
+                    RuntimeConfig::cluster(RANKS).with_engine(EngineKind::Proc),
+                    Box::new(ProcEngine::new(r as u16, listener, peers.clone())),
+                )
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for (r, rt) in runtimes.iter().enumerate() {
+                s.spawn(move || rt.run(|| rank_ops(r as u16, add_id)));
+            }
+        });
+        let proc = runtimes
+            .iter()
+            .map(|rt| rt.total_comm())
+            .fold(CommSnapshot::default(), |a, b| a + b);
+        for (rank, rt) in runtimes.iter().enumerate() {
+            check_memory(&rt.locale(rank as u16).sym, rank, "proc");
+        }
+
+        // Deterministic counters agree exactly; the sim driver pays three
+        // extra `on` hops to reach locales 1..3 (locale 0 runs inline).
+        check_counters(&sim, 3, "sim");
+        check_counters(&proc, 0, "proc");
+        assert_eq!(sim.am_sent, proc.am_sent + 3);
+        assert_eq!(sim.cpu_atomics, proc.cpu_atomics);
+        assert_eq!(sim.cpu_dcas, proc.cpu_dcas);
+        assert_eq!((sim.gets, sim.puts), (proc.gets, proc.puts));
+        assert_eq!(
+            (sim.bytes_got, sim.bytes_put),
+            (proc.bytes_got, proc.bytes_put)
+        );
+
+        // Timing-dependent side: the proc backend stamps real wall-clock
+        // round trips — nonzero, and with ordered percentiles.
+        let t = runtimes[0].total_telemetry();
+        let rt_hist = t.class(OpClass::AmRoundTrip);
+        assert!(
+            rt_hist.count() > 0 && rt_hist.max() > 0,
+            "proc AM round trips must record wall time"
+        );
+        assert!(
+            rt_hist.percentile(50.0) <= rt_hist.percentile(99.0)
+                && rt_hist.percentile(99.0) <= rt_hist.max(),
+            "proc latency percentiles must be ordered"
+        );
+        drop(runtimes);
+    }
+
+    #[test]
+    fn proc_versioned_reads_are_two_real_gets() {
+        const READS: u64 = 32;
+
+        let listeners: Vec<TcpListener> = (0..2)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+            .collect();
+        let peers: Vec<std::net::SocketAddr> =
+            listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let runtimes: Vec<Runtime> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(r, listener)| {
+                Runtime::with_engine(
+                    RuntimeConfig::cluster(2)
+                        .with_engine(EngineKind::Proc)
+                        .with_vread_fastpath(true),
+                    Box::new(ProcEngine::new(r as u16, listener, peers.clone())),
+                )
+            })
+            .collect();
+
+        runtimes[0].run(|| {
+            // Seed rank 1's wide cell, then read it back through the
+            // optimistic two-GET fast path. No concurrent writer, so
+            // every attempt validates on its first window.
+            let (ok, _) = symheap::dcas(1, OFF_WIDE, 0, 7);
+            assert!(ok);
+            for _ in 0..READS {
+                assert_eq!(symheap::read_wide(1, OFF_WIDE), 7);
+            }
+        });
+
+        let c = runtimes[0].total_comm();
+        assert_eq!(c.vread_fast, READS, "every read validated optimistically");
+        assert_eq!(c.vread_retries, 0, "no concurrent writer, no torn windows");
+        assert_eq!(c.vread_fallbacks, 0);
+        assert_eq!(c.gets, READS * 2, "each versioned read is two real GETs");
+        assert_eq!(
+            c.bytes_got,
+            READS * (16 + 24),
+            "GET 1 covers seq+lo, GET 2 the whole cell"
+        );
+        assert_eq!(c.am_sent, 1, "only the seeding DCAS crossed as an AM");
+
+        let t = runtimes[0].total_telemetry();
+        let vr = t.class(OpClass::VersionedRead);
+        assert_eq!(vr.count(), READS);
+        assert!(vr.max() > 0, "versioned reads record wall time");
+        drop(runtimes);
+    }
 }
 
 proptest! {
