@@ -82,6 +82,9 @@ struct Record {
     /// Per-backend reclamation counters, pre-rendered as a JSON object —
     /// only A8 rows carry one (null elsewhere).
     reclaim: Option<String>,
+    /// Per-structure shard-routing counters, pre-rendered as a JSON
+    /// object — only A11 sharded rows carry one (null elsewhere).
+    shard: Option<String>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -93,6 +96,10 @@ struct Scale {
     fig6_objects: usize,
     fig7_iters: u64,
     ablate_objects: usize,
+    /// A11 key-space size (the "million keys" knob).
+    a11_keys: u64,
+    /// A11 mixed-phase operations per task.
+    a11_ops: u64,
 }
 
 const FULL: Scale = Scale {
@@ -102,6 +109,8 @@ const FULL: Scale = Scale {
     fig6_objects: 1 << 14,
     fig7_iters: 1 << 13,
     ablate_objects: 1 << 13,
+    a11_keys: 1 << 20,
+    a11_ops: 1 << 12,
 };
 
 const QUICK: Scale = Scale {
@@ -111,6 +120,8 @@ const QUICK: Scale = Scale {
     fig6_objects: 1 << 11,
     fig7_iters: 1 << 9,
     ablate_objects: 1 << 9,
+    a11_keys: 1 << 14,
+    a11_ops: 1 << 9,
 };
 
 fn row(label: &str, x_name: &str, x: usize, extra: &str, s: Sample) {
@@ -163,6 +174,49 @@ fn row_full(
         comm: telemetry.map(|t| t.comm),
         latency: telemetry.map_or_else(|| "{}".to_string(), |t| t.latency_json()),
         reclaim: None,
+        shard: None,
+    });
+}
+
+/// An A11 row: like [`row_comm`] but carrying the sharded map's routing
+/// counters as a `shard` JSON object (`validate_results` checks the
+/// schema on every "A11 sharded" row; legacy rows pass `None`).
+fn row_shard(
+    label: &str,
+    locales: usize,
+    extra: &str,
+    s: Sample,
+    t: &TelemetrySnapshot,
+    shard: Option<&pgas_nb::structures::ShardSnapshot>,
+) {
+    say!(
+        "{label:<34} locales={locales:<3} {extra:<18} vtime={:>12.3} ms  \
+         ns/op={:>9.1}  mops={:>8.2}  wall={:>8.1} ms",
+        s.vtime_ns as f64 / 1e6,
+        s.ns_per_op(),
+        s.mops(),
+        s.wall_ns as f64 / 1e6,
+    );
+    if let Some(sh) = shard {
+        say!(
+            "    └─ shard: local={} remote={} active={}",
+            sh.local_ops,
+            sh.remote_ops,
+            sh.active_shards
+        );
+    }
+    RECORDS.lock().unwrap().push(Record {
+        engine: "sim",
+        name: label.trim().to_string(),
+        locales,
+        vtime_ns: s.vtime_ns,
+        ns_per_op: s.ns_per_op(),
+        mops: s.mops(),
+        am_count: Some(t.comm.am_sent),
+        comm: Some(t.comm),
+        latency: t.latency_json(),
+        reclaim: None,
+        shard: shard.map(|sh| sh.to_json()),
     });
 }
 
@@ -217,6 +271,7 @@ fn row_reclaim(structure: A8Structure, locales: usize, r: &ReclaimAblation) {
         comm: None,
         latency: "{}".to_string(),
         reclaim: Some(reclaim_json),
+        shard: None,
     });
 }
 
@@ -230,7 +285,7 @@ fn write_results_json(path: &str) {
              \"ns_per_op\": {}, \"mops\": {}, \"am_count\": {}, \
              \"retries\": {}, \"gave_up\": {}, \"injected_drops\": {}, \
              \"injected_delays\": {}, \"injected_dups\": {}, \
-             \"comm\": {}, \"latency\": {}, \"reclaim\": {}}}{}\n",
+             \"comm\": {}, \"latency\": {}, \"reclaim\": {}, \"shard\": {}}}{}\n",
             jstr(&r.name),
             jstr(r.engine),
             r.locales,
@@ -246,6 +301,7 @@ fn write_results_json(path: &str) {
             r.comm.map_or("null".to_string(), |c| c.to_json()),
             r.latency,
             r.reclaim.as_deref().unwrap_or("null"),
+            r.shard.as_deref().unwrap_or("null"),
             if i + 1 < recs.len() { "," } else { "" },
         ));
     }
@@ -512,6 +568,84 @@ fn ablations(sc: &Scale) {
             }
         }
     }
+
+    say!("\n=== Ablation A11: global-view sharded map vs legacy flat map (Zipfian point ops) ===");
+    a11(sc);
+}
+
+/// Ablation A11: the privatized per-locale-sharded map against the legacy
+/// flat map under Zipfian point workloads (θ ∈ {0.9, 0.99}, 90/10 and
+/// 50/50 read/write, 1–8 locales). Network atomics are off and combining
+/// is on, so the legacy map's remote chain hops each cost an AM round
+/// trip while the sharded map pays at most one combined AM per remote op
+/// and nothing for locally-owned keys. The harness asserts the sharded
+/// tier's strict win on both ns/op and AM count at ≥4 locales inline, and
+/// that its remote routing is honest (remote ops ⇒ AMs flowed), so a
+/// routing regression fails the run before CI parses the JSON.
+fn a11(sc: &Scale) {
+    for &theta in &[0.9f64, 0.99] {
+        for &read_pct in &[90u32, 50] {
+            for &locales in &[1usize, 2, 4, 8] {
+                let mut legacy: Option<(f64, u64)> = None;
+                for sharded in [false, true] {
+                    let cell = pgas_bench::ablate_globalview(
+                        locales,
+                        sc.a11_keys,
+                        theta,
+                        read_pct,
+                        sc.a11_ops,
+                        sharded,
+                    );
+                    let tier = if sharded { "sharded" } else { "legacy" };
+                    let label =
+                        format!("A11 {tier} zipf={theta} mix={read_pct}/{}", 100 - read_pct);
+                    row_shard(
+                        &label,
+                        locales,
+                        &format!("AMs={}", cell.telemetry.comm.am_sent),
+                        cell.sample,
+                        &cell.telemetry,
+                        cell.shard.as_ref(),
+                    );
+                    if sharded {
+                        let sh = cell
+                            .shard
+                            .as_ref()
+                            .expect("sharded rows carry a shard snapshot");
+                        if locales >= 2 {
+                            assert!(
+                                sh.remote_ops > 0 && cell.telemetry.comm.am_sent > 0,
+                                "A11 zipf={theta} {read_pct}% @{locales}: remote-shard ops \
+                                 must pay AMs ({} remote ops, {} AMs)",
+                                sh.remote_ops,
+                                cell.telemetry.comm.am_sent
+                            );
+                        }
+                        if locales >= 4 {
+                            let (l_ns, l_ams) =
+                                legacy.expect("legacy tier measured before sharded");
+                            assert!(
+                                cell.sample.ns_per_op() < l_ns,
+                                "A11 zipf={theta} {read_pct}% @{locales}: sharded must beat \
+                                 legacy on ns/op ({:.1} vs {:.1})",
+                                cell.sample.ns_per_op(),
+                                l_ns
+                            );
+                            assert!(
+                                cell.telemetry.comm.am_sent < l_ams,
+                                "A11 zipf={theta} {read_pct}% @{locales}: sharded must beat \
+                                 legacy on AM count ({} vs {})",
+                                cell.telemetry.comm.am_sent,
+                                l_ams
+                            );
+                        }
+                    } else {
+                        legacy = Some((cell.sample.ns_per_op(), cell.telemetry.comm.am_sent));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Ablation A8: every structure churned under EBR vs distributed hazard
@@ -751,6 +885,11 @@ fn main() {
             // Standalone A10 selector for the vread smoke job.
             say!("\n=== Ablation A10: versioned fast reads vs DCAS reads (read-mostly ABA mixes) ===");
             a10(sc);
+        }
+        if selectors.iter().any(|a| a == "a11") {
+            // Standalone A11 selector for the global-view smoke job.
+            say!("\n=== Ablation A11: global-view sharded map vs legacy flat map (Zipfian point ops) ===");
+            a11(sc);
         }
     }
     write_results_json("BENCH_results.json");

@@ -20,6 +20,10 @@
 //!   retired/reclaimed/scans/hazard-protects, stalled-task numbers) with
 //!   `reclaimed ≤ retired`, no hazard publications under EBR, and
 //!   progress behind the stall under HP;
+//! * `shard` is null everywhere except the A11 `sharded` rows, which must
+//!   carry the full routing-counter object (local/remote point ops, bulk
+//!   item splits, rebalance stats, active shard count + generation); a
+//!   row claiming remote-shard ops with zero AMs on the wire is rejected;
 //! * the three versioned-read counters (`vread_fast`/`vread_retries`/
 //!   `vread_fallbacks`) are zero on every row except the A10 `vread=on`
 //!   rows, where validated fast reads must exist and fallbacks cannot
@@ -102,6 +106,57 @@ fn check_latency(lat: &Value) -> Result<(), String> {
                  (p50={p50} p99={p99} p999={p999} max={max})"
             ));
         }
+    }
+    Ok(())
+}
+
+/// The A11 sharded rows' per-structure shard-routing counters.
+///
+/// Only A11 `sharded` rows carry the object (legacy rows and every other
+/// series must say `shard: null`); when present it must hold the full
+/// counter set, a sane shard-count/generation pair, and — the honesty
+/// check — any row claiming remote-shard traffic must also have AMs on
+/// the wire: a privatized map whose remote ops are free is a routing bug,
+/// not a speedup.
+fn check_shard(name: &str, shard: &Value, am_count: Option<f64>) -> Result<(), String> {
+    let is_a11_sharded = name.starts_with("A11 sharded");
+    if shard.is_null() {
+        return if is_a11_sharded {
+            Err("A11 sharded row with null shard object".into())
+        } else {
+            Ok(())
+        };
+    }
+    if !is_a11_sharded {
+        return Err("non-sharded row carries a shard object".into());
+    }
+    shard.as_obj().ok_or("shard is not an object")?;
+    for key in [
+        "local_ops",
+        "remote_ops",
+        "bulk_local_items",
+        "bulk_remote_items",
+        "rebalances",
+        "moved_keys",
+        "active_shards",
+        "generation",
+    ] {
+        num(shard, key).map_err(|e| format!("shard: {e}"))?;
+    }
+    let remote = num(shard, "remote_ops").unwrap();
+    let local = num(shard, "local_ops").unwrap();
+    let active = num(shard, "active_shards").unwrap();
+    if active < 1.0 {
+        return Err(format!("shard: active_shards ({active}) below 1"));
+    }
+    if local + remote == 0.0 {
+        return Err("shard: row measured no point ops at all".into());
+    }
+    if remote > 0.0 && am_count.unwrap_or(0.0) == 0.0 {
+        return Err(format!(
+            "shard: {remote} remote-shard ops but zero AMs on the wire \
+             — shard routing is lying about locality"
+        ));
     }
     Ok(())
 }
@@ -246,6 +301,12 @@ fn check_row(row: &Value) -> Result<(), String> {
         .map_err(|e| ctx(e.into()))?;
     check_reclaim(name, reclaim).map_err(ctx)?;
 
+    let shard = row
+        .get("shard")
+        .ok_or("missing key \"shard\"")
+        .map_err(|e| ctx(e.into()))?;
+    check_shard(name, shard, am_count).map_err(ctx)?;
+
     // A row measured with a runtime in hand must have latency samples:
     // every remote (or tracked local) operation records into some class.
     if !comm.is_null() && lat.as_obj().unwrap().is_empty() {
@@ -300,6 +361,8 @@ fn check_results(text: &str, engine: &str) -> Result<usize, String> {
         "A10 90% read vread=on",
         "A10 99% read vread=off",
         "A10 99% read vread=on",
+        "A11 legacy zipf=0.99 mix=90/10",
+        "A11 sharded zipf=0.99 mix=90/10",
     ] {
         if !rows
             .iter()

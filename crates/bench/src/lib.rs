@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 pub mod json;
 pub mod procrun;
 pub mod trace;
+pub mod zipf;
 
 /// Process-wide span sink installed on every runtime the workloads build
 /// (the harness's `--trace` flag). Must be set before the first
@@ -1144,6 +1145,169 @@ pub fn ablate_reclaimer<R: Reclaimer>(
     r
 }
 
+/// One measured A11 cell: timing, full telemetry, and (for the sharded
+/// tier) the map's routing counters over the measured phase only.
+pub struct GlobalViewCell {
+    /// Virtual/wall timing of the measured mixed phase.
+    pub sample: Sample,
+    /// Comm counters + per-class latency registry for the measured phase.
+    pub telemetry: TelemetrySnapshot,
+    /// Sharded rows: the [`ShardSnapshot`] delta across the measured
+    /// phase (preload traffic excluded). `None` for the legacy tier.
+    pub shard: Option<ShardSnapshot>,
+}
+
+/// Ablation A11: the global-view map tier vs the legacy flat map under
+/// Zipfian point workloads.
+///
+/// Both tiers preload `keys` entries through their bulk path, then run a
+/// mixed phase: `tasks_per_locale` tasks on every locale each issue
+/// `ops_per_task` operations on Zipf(θ)-sampled keys — `read_pct`% `get`,
+/// the rest alternating `remove`/`insert` so the population stays put.
+/// Network atomics are off and combining is on, which is the contrast the
+/// follow-up paper draws: the legacy map's remote chain hops each pay an
+/// AM round trip, while the sharded map runs locally-owned keys on CPU
+/// atomics and ships exactly one combined AM per remote op. The bucket
+/// budget is equal (legacy's table == sum of the sharded per-locale
+/// tables), so the only variable is placement + routing.
+pub fn ablate_globalview(
+    locales: usize,
+    keys: u64,
+    theta: f64,
+    read_pct: u32,
+    ops_per_task: u64,
+    sharded: bool,
+) -> GlobalViewCell {
+    let rt = traced(Runtime::new(
+        RuntimeConfig::cluster(locales)
+            .without_network_atomics()
+            .with_combining(true),
+    ));
+    let tasks = 2usize;
+    let buckets_total = ((keys / 8).max(16) as usize).next_power_of_two();
+    let zipf = Arc::new(zipf::ZipfSampler::new(keys, theta));
+    // The measured per-task loop, identical for both tiers: only the
+    // get/insert/remove closures differ.
+    let drive = |l: LocaleId,
+                 t: usize,
+                 get: &dyn Fn(u64),
+                 insert: &dyn Fn(u64, u64),
+                 remove: &dyn Fn(u64)| {
+        let mut rng = StdRng::seed_from_u64(0xA11_0000 + ((l as u64) << 8) + t as u64);
+        let mut toggle = false;
+        for i in 0..ops_per_task {
+            let k = zipf.sample(&mut rng);
+            if rng.gen_range(0u32..100) < read_pct {
+                get(k);
+            } else if toggle {
+                remove(k);
+                toggle = false;
+            } else {
+                insert(k, i);
+                toggle = true;
+            }
+        }
+    };
+    let mut out = None;
+    rt.run(|| {
+        // Preload in bounded chunks so no tier holds a keys-sized Vec.
+        let chunk = 1usize << 16;
+        if sharded {
+            let m: ShardedHashMap<u64, u64> = ShardedHashMap::new((buckets_total / locales).max(1));
+            let mut next = 0u64;
+            while next < keys {
+                let hi = (next + chunk as u64).min(keys);
+                m.insert_bulk((next..hi).map(|k| (k, k)).collect());
+                next = hi;
+            }
+            let pre = m.shard_snapshot();
+            rt.reset_metrics();
+            let wall = Instant::now();
+            let t0 = vtime::now();
+            rt.coforall_locales(|l| {
+                rt.coforall_tasks(tasks, |t| {
+                    let tok = m.register();
+                    drive(
+                        l,
+                        t,
+                        &|k| {
+                            let _ = m.get(&tok, &k);
+                        },
+                        &|k, v| {
+                            let _ = m.insert(&tok, k, v);
+                        },
+                        &|k| {
+                            let _ = m.remove(&tok, &k);
+                        },
+                    );
+                });
+            });
+            let post = m.shard_snapshot();
+            out = Some(GlobalViewCell {
+                sample: Sample {
+                    vtime_ns: vtime::now() - t0,
+                    wall_ns: wall.elapsed().as_nanos() as u64,
+                    ops: ops_per_task * (locales * tasks) as u64,
+                },
+                telemetry: rt.total_telemetry(),
+                shard: Some(ShardSnapshot {
+                    local_ops: post.local_ops - pre.local_ops,
+                    remote_ops: post.remote_ops - pre.remote_ops,
+                    bulk_local_items: post.bulk_local_items - pre.bulk_local_items,
+                    bulk_remote_items: post.bulk_remote_items - pre.bulk_remote_items,
+                    rebalances: post.rebalances - pre.rebalances,
+                    moved_keys: post.moved_keys - pre.moved_keys,
+                    active_shards: post.active_shards,
+                    generation: post.generation,
+                }),
+            });
+            m.clear_reclaim();
+        } else {
+            let m: DistHashMap<u64, u64> = DistHashMap::new(buckets_total);
+            let mut next = 0u64;
+            while next < keys {
+                let hi = (next + chunk as u64).min(keys);
+                m.insert_bulk((next..hi).map(|k| (k, k)).collect());
+                next = hi;
+            }
+            rt.reset_metrics();
+            let wall = Instant::now();
+            let t0 = vtime::now();
+            rt.coforall_locales(|l| {
+                rt.coforall_tasks(tasks, |t| {
+                    let tok = m.register();
+                    drive(
+                        l,
+                        t,
+                        &|k| {
+                            let _ = m.get(&tok, &k);
+                        },
+                        &|k, v| {
+                            let _ = m.insert(&tok, k, v);
+                        },
+                        &|k| {
+                            let _ = m.remove(&tok, &k);
+                        },
+                    );
+                });
+            });
+            out = Some(GlobalViewCell {
+                sample: Sample {
+                    vtime_ns: vtime::now() - t0,
+                    wall_ns: wall.elapsed().as_nanos() as u64,
+                    ops: ops_per_task * (locales * tasks) as u64,
+                },
+                telemetry: rt.total_telemetry(),
+                shard: None,
+            });
+            m.clear_reclaim();
+        }
+    });
+    let cell = out.unwrap();
+    assert_eq!(rt.live_objects(), 0, "A11 leaked objects");
+    cell
+}
+
 /// Build a runtime for a figure measurement.
 pub fn runtime(locales: usize, network_atomics: bool) -> Runtime {
     let cfg = if network_atomics {
@@ -1162,6 +1326,31 @@ pub const TASK_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn a11_sharded_beats_legacy_on_ams_and_time() {
+        let keys = 1u64 << 12;
+        let sharded = ablate_globalview(4, keys, 0.99, 90, 256, true);
+        let legacy = ablate_globalview(4, keys, 0.99, 90, 256, false);
+        assert!(
+            sharded.telemetry.comm.am_sent < legacy.telemetry.comm.am_sent,
+            "sharded must send fewer AMs: {} vs {}",
+            sharded.telemetry.comm.am_sent,
+            legacy.telemetry.comm.am_sent
+        );
+        assert!(
+            sharded.sample.vtime_ns < legacy.sample.vtime_ns,
+            "sharded must be faster: {} vs {} vns",
+            sharded.sample.vtime_ns,
+            legacy.sample.vtime_ns
+        );
+        let snap = sharded.shard.expect("sharded rows carry a shard snapshot");
+        assert!(snap.local_ops > 0 && snap.remote_ops > 0);
+        // Measured phase only: the preload's bulk traffic is excluded.
+        assert_eq!(snap.bulk_local_items + snap.bulk_remote_items, 0);
+        assert_eq!(snap.local_ops + snap.remote_ops, sharded.sample.ops);
+        assert!(legacy.shard.is_none());
+    }
 
     #[test]
     fn fig3_samples_have_expected_costs() {

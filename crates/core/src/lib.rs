@@ -11,6 +11,7 @@
 //! | contribution 1 | [`atomics`] | `AtomicObject`, `LocalAtomicObject`, ABA protection via 128-bit DCAS, pointer compression |
 //! | contribution 2 | [`epoch`] | `EpochManager`, `LocalEpochManager`, wait-free limbo lists, scatter-list reclamation |
 //! | applications | [`structures`] | Treiber stack, Michael–Scott queue, Harris list, distributed hash map |
+//! | global-view tier | [`structures`] + [`sim`]'s `ShardRouter` | privatized per-locale-sharded map, work-stealing deque, ordered sharded skiplist |
 //!
 //! ## Quickstart
 //!
@@ -55,9 +56,11 @@ pub mod prelude {
     pub use pgas_sim::{
         alloc_local, alloc_on, current_runtime, free, here, Batcher, CommEngine, Completion,
         GlobalPtr, LocaleId, NetworkConfig, PointerMode, Runtime, RuntimeConfig, RuntimeHandle,
+        ShardRouter,
     };
     pub use pgas_structures::{
-        DistHashMap, LockFreeList, LockFreeSkipList, LockFreeStack, MsQueue, RcuArray,
+        DistHashMap, GlobalOrderedSet, LockFreeList, LockFreeSkipList, LockFreeStack, MsQueue,
+        RcuArray, ShardSnapshot, ShardedHashMap, WorkStealingDeque,
     };
 }
 

@@ -65,6 +65,7 @@ pub mod locale;
 pub mod privatized;
 pub mod reduce;
 pub mod runtime;
+pub mod shard;
 pub mod stats;
 pub mod symheap;
 pub mod telemetry;
@@ -85,6 +86,7 @@ pub use locale::Locale;
 pub use privatized::Privatized;
 pub use reduce::{all_locales, any_locales, max_locales, min_locales, reduce_locales, sum_locales};
 pub use runtime::{Runtime, RuntimeCore, RuntimeHandle};
+pub use shard::ShardRouter;
 pub use stats::{CommSnapshot, CommStats, HeapStats};
 pub use symheap::{SymHeap, SymOp64};
 pub use telemetry::TelemetrySnapshot;

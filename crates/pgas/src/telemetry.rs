@@ -126,11 +126,24 @@ pub enum OpClass {
     /// torn-window re-reads; fallbacks to the DCAS slow path are *not*
     /// sampled here (they record under the handler classes as before).
     VersionedRead,
+    /// Root span of a public `ShardedHashMap` operation — the privatized
+    /// per-locale-sharded map of the global-view tier (tag as
+    /// [`OpClass::StackOp`]). Local-shard and remote-shard ops share the
+    /// class; the latency split shows up in the percentiles (local ops are
+    /// CPU-priced, remote ops carry an AM round trip).
+    ShardedMapOp,
+    /// Root span of a public `WorkStealingDeque` operation (tag as
+    /// [`OpClass::StackOp`]); steals carry `opkind::STEAL`.
+    DequeOp,
+    /// Root span of a public `GlobalOrderedSet` operation — the sharded
+    /// skiplist wrapper of the global-view tier (tag as
+    /// [`OpClass::StackOp`]); cross-shard scans carry `opkind::RANGE`.
+    OrderedSetOp,
 }
 
 impl OpClass {
     /// Number of classes (length of [`OpClass::ALL`]).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 25;
 
     /// Every class, in declaration order (the histogram index order).
     pub const ALL: [OpClass; OpClass::COUNT] = [
@@ -156,6 +169,9 @@ impl OpClass {
         OpClass::AtomicObjectOp,
         OpClass::CombineRide,
         OpClass::VersionedRead,
+        OpClass::ShardedMapOp,
+        OpClass::DequeOp,
+        OpClass::OrderedSetOp,
     ];
 
     /// Stable snake_case name used as the JSON key for this class.
@@ -183,6 +199,9 @@ impl OpClass {
             OpClass::AtomicObjectOp => "atomic_object_op",
             OpClass::CombineRide => "combine_ride",
             OpClass::VersionedRead => "versioned_read",
+            OpClass::ShardedMapOp => "sharded_map_op",
+            OpClass::DequeOp => "deque_op",
+            OpClass::OrderedSetOp => "ordered_set_op",
         }
     }
 
@@ -272,6 +291,8 @@ pub mod opkind {
     pub const LEN: u64 = 15;
     pub const BULK_INSERT: u64 = 16;
     pub const BULK_GET: u64 = 17;
+    pub const STEAL: u64 = 18;
+    pub const REBALANCE: u64 = 19;
 
     /// Human-readable name for a packed op kind (for the analyzer).
     pub fn name(kind: u64) -> &'static str {
@@ -293,6 +314,8 @@ pub mod opkind {
             LEN => "len",
             BULK_INSERT => "bulk_insert",
             BULK_GET => "bulk_get",
+            STEAL => "steal",
+            REBALANCE => "rebalance",
             _ => "op",
         }
     }

@@ -16,6 +16,14 @@
 //!   operations (Fraser's flagship EBR application).
 //! * [`RcuArray`] — RCU-style distributed resizable array.
 //!
+//! On top of the flat structures sits the **global-view tier** (the
+//! follow-up paper's privatization step): [`ShardedHashMap`] homes each
+//! key's chain on its owning locale so locally-owned ops are
+//! communication-free, [`WorkStealingDeque`] gives every locale a local
+//! LIFO end with remote thieves stealing via DCAS on the victim's top
+//! pointer, and [`GlobalOrderedSet`] shards the skiplist per locale with
+//! cross-shard range scans.
+//!
 //! All of them are usable from any locale; nodes carry the affinity of the
 //! task that allocated them. Every structure is generic over its
 //! reclamation backend (`R: Reclaimer`, defaulting to the epoch-based
@@ -26,16 +34,22 @@
 
 #![warn(missing_docs)]
 
+pub mod deque;
 pub mod list;
 pub mod map;
+pub mod ordered;
 pub mod queue;
 pub mod rcu_array;
+pub mod sharded_map;
 pub mod skiplist;
 pub mod stack;
 
+pub use deque::WorkStealingDeque;
 pub use list::LockFreeList;
 pub use map::DistHashMap;
+pub use ordered::GlobalOrderedSet;
 pub use queue::MsQueue;
 pub use rcu_array::RcuArray;
+pub use sharded_map::{ShardSnapshot, ShardedHashMap};
 pub use skiplist::LockFreeSkipList;
 pub use stack::LockFreeStack;

@@ -1,0 +1,730 @@
+//! The privatized, per-locale-sharded hash map — the global-view tier.
+//!
+//! The follow-up paper ("Scaling Shared-Memory Data Structures as
+//! Distributed Global-View Data Structures in the PGAS model") shows the
+//! flat [`crate::map::DistHashMap`] layout only scales so far: its bucket
+//! chains interleave nodes from every inserting locale, so a single `get`
+//! pays one remote atomic read *per chain hop*, wherever it runs. The fix
+//! is **privatization**: partition the key space into per-locale shards
+//! (via [`pgas_sim::ShardRouter`]) and home each shard's chains entirely
+//! on its owning locale. Then
+//!
+//! * an operation on a **locally-owned** key runs the ordinary Harris
+//!   chain protocol against locale-local memory — CPU atomics, **zero
+//!   communication**;
+//! * an operation on a **remote** key ships *one* active message to the
+//!   owner over the runtime's combining layer
+//!   ([`pgas_sim::RuntimeCore::on_combining`]) and runs the same local
+//!   protocol there — one AM instead of one remote atomic per hop;
+//! * bulk operations scatter/gather **per destination** over the
+//!   [`pgas_sim::Batcher`], so a million-key preload costs one bulk AM
+//!   per destination buffer.
+//!
+//! Both tiers execute the identical chain primitives
+//! ([`crate::map::chain_insert`] and friends), so the sharded map is the
+//! legacy map with a different answer to "where do chains live and who
+//! runs the op" — which is exactly the ablation A11 measures.
+//!
+//! ## Rebalance
+//!
+//! The router's *active* shard set can be retargeted at runtime (locales
+//! joining or the structure compacting onto fewer nodes). A retarget only
+//! changes the mapping; [`ShardedHashMap::rebalance`] migrates the keys
+//! whose owner changed with a quiescent sweep: collect each shard's
+//! entries, unlink the ones that now route elsewhere *from their old
+//! chain directly* (routing through the map would consult the new mapping
+//! and miss them), and scatter them to their new owners through the bulk
+//! path. Callers must guarantee quiescence for the duration — the sweep
+//! walks chains unprotected, like teardown.
+
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pgas_epoch::{EpochManager, ReclaimGuard, Reclaimer};
+use pgas_sim::engine::DEFAULT_BUFFER_CAP;
+use pgas_sim::telemetry::{opkind, OpClass, OpSpan};
+use pgas_sim::{ctx, Batcher, GlobalPtr, LocaleId, ShardRouter};
+
+use crate::map::{
+    alloc_sentinel, chain_collect, chain_count, chain_get, chain_insert, chain_remove,
+    chain_teardown, hash_key, Node,
+};
+
+/// Routing/traffic counters a sharded map accumulates over its lifetime.
+/// Plain process atomics (not simulated-NIC atomics), so bumping them
+/// never perturbs the communication counters the benchmarks assert on.
+#[derive(Default)]
+struct ShardStats {
+    local_ops: AtomicU64,
+    remote_ops: AtomicU64,
+    bulk_local_items: AtomicU64,
+    bulk_remote_items: AtomicU64,
+    rebalances: AtomicU64,
+    moved_keys: AtomicU64,
+}
+
+/// A point-in-time copy of a map's [`ShardStats`], plus the router state
+/// it was taken under. Serialized into the benchmark rows' `shard`
+/// object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Single-key ops whose key was locally owned (pure-local path).
+    pub local_ops: u64,
+    /// Single-key ops shipped to a remote owner (one AM each).
+    pub remote_ops: u64,
+    /// Bulk items applied on the calling locale.
+    pub bulk_local_items: u64,
+    /// Bulk items scattered to remote destinations.
+    pub bulk_remote_items: u64,
+    /// Completed [`ShardedHashMap::rebalance`] sweeps that changed the
+    /// active set.
+    pub rebalances: u64,
+    /// Keys migrated across shards by rebalances.
+    pub moved_keys: u64,
+    /// Shards currently receiving keys.
+    pub active_shards: usize,
+    /// Router mapping generation (bumps on every retarget).
+    pub generation: u64,
+}
+
+impl ShardSnapshot {
+    /// JSON object for the benchmark harness (`shard` field of a row).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"local_ops\": {}, \"remote_ops\": {}, \"bulk_local_items\": {}, \
+             \"bulk_remote_items\": {}, \"rebalances\": {}, \"moved_keys\": {}, \
+             \"active_shards\": {}, \"generation\": {}}}",
+            self.local_ops,
+            self.remote_ops,
+            self.bulk_local_items,
+            self.bulk_remote_items,
+            self.rebalances,
+            self.moved_keys,
+            self.active_shards,
+            self.generation
+        )
+    }
+}
+
+/// One shard's bucket sentinels, all homed on the owning locale.
+type ShardBuckets<K, V> = Box<[GlobalPtr<Node<K, V>>]>;
+
+/// A privatized, per-locale-sharded lock-free hash map.
+///
+/// Shard `s` (one per locale) homes `buckets_per_shard` Harris chains on
+/// locale `s`; a [`ShardRouter`] maps each key hash to its owning shard.
+/// See the module docs for the routing protocol.
+pub struct ShardedHashMap<K, V, R = EpochManager>
+where
+    K: Hash + Ord + Send + Sync + 'static,
+    V: Clone + Send + 'static,
+    R: Reclaimer,
+{
+    /// `shards[l]` = the bucket sentinels of locale `l`'s shard, every
+    /// one allocated on locale `l`.
+    shards: Box<[ShardBuckets<K, V>]>,
+    mask: u64,
+    router: ShardRouter,
+    em: R,
+    stats: ShardStats,
+}
+
+unsafe impl<K, V, R> Send for ShardedHashMap<K, V, R>
+where
+    K: Hash + Ord + Send + Sync + 'static,
+    V: Clone + Send + 'static,
+    R: Reclaimer,
+{
+}
+unsafe impl<K, V, R> Sync for ShardedHashMap<K, V, R>
+where
+    K: Hash + Ord + Send + Sync + 'static,
+    V: Clone + Send + 'static,
+    R: Reclaimer,
+{
+}
+
+impl<K, V> ShardedHashMap<K, V>
+where
+    K: Hash + Ord + Send + Sync + 'static,
+    V: Clone + Send + 'static,
+{
+    /// Create a sharded map with `buckets_per_shard` buckets (rounded up
+    /// to a power of two) homed on each locale of the current runtime,
+    /// with the default epoch-based backend.
+    pub fn new(buckets_per_shard: usize) -> ShardedHashMap<K, V> {
+        Self::with_reclaimer(buckets_per_shard)
+    }
+
+    /// The map's epoch manager.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.em
+    }
+}
+
+impl<K, V, R> ShardedHashMap<K, V, R>
+where
+    K: Hash + Ord + Send + Sync + 'static,
+    V: Clone + Send + 'static,
+    R: Reclaimer,
+{
+    /// Create a sharded map using reclamation backend `R`.
+    pub fn with_reclaimer(buckets_per_shard: usize) -> ShardedHashMap<K, V, R> {
+        let rt = ctx::current_runtime();
+        let n = buckets_per_shard.next_power_of_two().max(1);
+        let locales = rt.num_locales();
+        let shards = (0..locales)
+            .map(|l| (0..n).map(|_| alloc_sentinel(&rt, l as LocaleId)).collect())
+            .collect();
+        ShardedHashMap {
+            shards,
+            mask: (n - 1) as u64,
+            router: ShardRouter::new(&rt),
+            em: R::new_in_runtime(),
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Register the calling task.
+    pub fn register(&self) -> R::Guard<'_> {
+        self.em.register()
+    }
+
+    /// The map's routing table.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Buckets per shard.
+    pub fn buckets_per_shard(&self) -> usize {
+        self.shards[0].len()
+    }
+
+    /// Snapshot the routing/traffic counters.
+    pub fn shard_snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            local_ops: self.stats.local_ops.load(Ordering::Relaxed),
+            remote_ops: self.stats.remote_ops.load(Ordering::Relaxed),
+            bulk_local_items: self.stats.bulk_local_items.load(Ordering::Relaxed),
+            bulk_remote_items: self.stats.bulk_remote_items.load(Ordering::Relaxed),
+            rebalances: self.stats.rebalances.load(Ordering::Relaxed),
+            moved_keys: self.stats.moved_keys.load(Ordering::Relaxed),
+            active_shards: self.router.active(),
+            generation: self.router.generation(),
+        }
+    }
+
+    /// The chain sentinel for `hash` inside `shard`.
+    fn bucket_in(&self, shard: LocaleId, hash: u64) -> GlobalPtr<Node<K, V>> {
+        self.shards[shard as usize][(hash & self.mask) as usize]
+    }
+
+    /// Insert `(key, value)`. Locally-owned keys run the chain protocol
+    /// in place under the caller's guard; remote keys ship one combined
+    /// AM to the owner, whose handler registers its own guard. Returns
+    /// `false` (dropping the pair) when the key is already present.
+    pub fn insert(&self, tok: &R::Guard<'_>, key: K, value: V) -> bool {
+        let hash = hash_key(&key);
+        let span = OpSpan::start(OpClass::ShardedMapOp, opkind::INSERT, hash);
+        let owner = self.router.owner(hash);
+        let sentinel = self.bucket_in(owner, hash);
+        if owner == ctx::here() {
+            self.stats.local_ops.fetch_add(1, Ordering::Relaxed);
+            chain_insert::<K, V, R>(tok, sentinel, hash, key, value, Some(&span))
+        } else {
+            self.stats.remote_ops.fetch_add(1, Ordering::Relaxed);
+            // The span can't travel (it's bound to this task's telemetry
+            // slot), so the remote leg runs span-less; retries on the
+            // owner are invisible to the caller's histogram, but the
+            // caller still times the full round trip.
+            ctx::current_runtime().on_combining(owner, move || {
+                let tok = self.em.register();
+                chain_insert::<K, V, R>(&tok, sentinel, hash, key, value, None)
+            })
+        }
+    }
+
+    /// Look up `key`, cloning the value out on the owning locale.
+    pub fn get(&self, tok: &R::Guard<'_>, key: &K) -> Option<V> {
+        let hash = hash_key(key);
+        let _span = OpSpan::start(OpClass::ShardedMapOp, opkind::GET, hash);
+        let owner = self.router.owner(hash);
+        let sentinel = self.bucket_in(owner, hash);
+        if owner == ctx::here() {
+            self.stats.local_ops.fetch_add(1, Ordering::Relaxed);
+            chain_get::<K, V, R>(tok, sentinel, hash, key)
+        } else {
+            self.stats.remote_ops.fetch_add(1, Ordering::Relaxed);
+            ctx::current_runtime().on_combining(owner, move || {
+                let tok = self.em.register();
+                chain_get::<K, V, R>(&tok, sentinel, hash, key)
+            })
+        }
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, tok: &R::Guard<'_>, key: &K) -> bool {
+        self.get(tok, key).is_some()
+    }
+
+    /// Remove `key`; returns `true` when it was present.
+    pub fn remove(&self, tok: &R::Guard<'_>, key: &K) -> bool {
+        let hash = hash_key(key);
+        let span = OpSpan::start(OpClass::ShardedMapOp, opkind::REMOVE, hash);
+        let owner = self.router.owner(hash);
+        let sentinel = self.bucket_in(owner, hash);
+        if owner == ctx::here() {
+            self.stats.local_ops.fetch_add(1, Ordering::Relaxed);
+            chain_remove::<K, V, R>(tok, sentinel, hash, key, Some(&span))
+        } else {
+            self.stats.remote_ops.fetch_add(1, Ordering::Relaxed);
+            ctx::current_runtime().on_combining(owner, move || {
+                let tok = self.em.register();
+                chain_remove::<K, V, R>(&tok, sentinel, hash, key, None)
+            })
+        }
+    }
+
+    /// Insert many pairs, scattered per owning shard over the batched
+    /// communication path. Locally-owned pairs apply inline; each remote
+    /// destination's pairs ride bulk AMs, applied by a handler on the
+    /// owner (so every item still takes that shard's pure-local path).
+    /// Returns the number of pairs actually inserted.
+    pub fn insert_bulk(&self, pairs: Vec<(K, V)>) -> usize {
+        let _span = OpSpan::start(OpClass::ShardedMapOp, opkind::BULK_INSERT, 0);
+        let rt = ctx::current_runtime();
+        let here = ctx::here();
+        let inserted = AtomicUsize::new(0);
+        let mut batcher = Batcher::new(&rt, DEFAULT_BUFFER_CAP, |_, batch: Vec<(K, V)>| {
+            let tok = self.em.register();
+            for (k, v) in batch {
+                if self.insert(&tok, k, v) {
+                    inserted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+        .with_high_watermark(4 * DEFAULT_BUFFER_CAP);
+        for (k, v) in pairs {
+            let dest = self.router.owner(hash_key(&k));
+            if dest == here {
+                self.stats.bulk_local_items.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.bulk_remote_items.fetch_add(1, Ordering::Relaxed);
+            }
+            batcher.aggregate(dest, (k, v));
+        }
+        batcher.flush();
+        drop(batcher);
+        inserted.load(Ordering::Relaxed)
+    }
+
+    /// Look up many keys, gathered per owning shard over the batched
+    /// path. Results are aligned with the input order.
+    pub fn get_bulk(&self, keys: Vec<K>) -> Vec<Option<V>> {
+        let _span = OpSpan::start(OpClass::ShardedMapOp, opkind::BULK_GET, 0);
+        let rt = ctx::current_runtime();
+        let here = ctx::here();
+        let results: Vec<Mutex<Option<V>>> = keys.iter().map(|_| Mutex::new(None)).collect();
+        let mut batcher = Batcher::new(&rt, DEFAULT_BUFFER_CAP, |_, batch: Vec<(usize, K)>| {
+            let tok = self.em.register();
+            for (i, k) in batch {
+                let hit = self.get(&tok, &k);
+                match results[i].lock() {
+                    Ok(mut slot) => *slot = hit,
+                    Err(poison) => *poison.into_inner() = hit,
+                }
+            }
+        })
+        .with_high_watermark(4 * DEFAULT_BUFFER_CAP);
+        for (i, k) in keys.into_iter().enumerate() {
+            let dest = self.router.owner(hash_key(&k));
+            if dest == here {
+                self.stats.bulk_local_items.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.bulk_remote_items.fetch_add(1, Ordering::Relaxed);
+            }
+            batcher.aggregate(dest, (i, k));
+        }
+        batcher.flush();
+        drop(batcher);
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect()
+    }
+
+    /// Entry count (racy; exact in quiescence). Each shard is counted by
+    /// a task running *on* its locale, so the walk itself is local.
+    /// Sweeps every shard, not just active ones, so entries awaiting a
+    /// [`Self::rebalance`] are still counted.
+    pub fn len(&self) -> usize {
+        let _span = OpSpan::start(OpClass::ShardedMapOp, opkind::LEN, 0);
+        let rt = ctx::current_runtime();
+        let mut total = 0usize;
+        for l in 0..self.shards.len() {
+            total += rt.on(l as LocaleId, || {
+                let g = self.em.register();
+                g.pin();
+                let mut n = 0usize;
+                for &sentinel in self.shards[l].iter() {
+                    n += chain_count::<K, V, R>(&g, sentinel);
+                }
+                g.release(0);
+                g.release(1);
+                g.unpin();
+                n
+            });
+        }
+        total
+    }
+
+    /// True when no entries are present (racy; exact in quiescence).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Retarget the active shard set to `new_active` locales and migrate
+    /// every key whose owner changed, returning how many moved. The
+    /// migration unlinks moved entries from their *old* chain directly
+    /// and scatters them to their new owners over the bulk path.
+    ///
+    /// Quiescent only: no concurrent map operations may run during the
+    /// sweep (the collection walk is unprotected, like teardown). This
+    /// mirrors how a real allocation change is sequenced — stop-the-world
+    /// at the structure level, then resume.
+    pub fn rebalance(&self, new_active: usize) -> usize
+    where
+        K: Clone,
+    {
+        let span = OpSpan::start(OpClass::ShardedMapOp, opkind::REBALANCE, 0);
+        let prev = self.router.retarget(new_active);
+        if self.router.active() == prev {
+            return 0;
+        }
+        self.stats.rebalances.fetch_add(1, Ordering::Relaxed);
+        let tok = self.em.register();
+        let mut moved: Vec<(K, V)> = Vec::new();
+        for shard in 0..self.shards.len() {
+            for &sentinel in self.shards[shard].iter() {
+                // SAFETY: caller guarantees quiescence.
+                for (hash, k, v) in unsafe { chain_collect(sentinel) } {
+                    if self.router.owner(hash) as usize != shard {
+                        // Unlink from the old chain directly: routing
+                        // through `remove` would consult the *new*
+                        // mapping and look in the wrong shard.
+                        chain_remove::<K, V, R>(&tok, sentinel, hash, &k, Some(&span));
+                        moved.push((k, v));
+                    }
+                }
+            }
+        }
+        drop(tok);
+        let n = moved.len();
+        self.stats.moved_keys.fetch_add(n as u64, Ordering::Relaxed);
+        if n > 0 {
+            self.insert_bulk(moved);
+        }
+        n
+    }
+
+    /// Attempt an epoch advance / hazard scan + reclamation.
+    pub fn try_reclaim(&self) -> bool {
+        self.em.try_reclaim()
+    }
+
+    /// Reclaim everything; callers must guarantee quiescence.
+    pub fn clear_reclaim(&self) {
+        self.em.clear()
+    }
+
+    /// The map's reclamation backend.
+    pub fn reclaimer(&self) -> &R {
+        &self.em
+    }
+}
+
+impl<K, V, R> Drop for ShardedHashMap<K, V, R>
+where
+    K: Hash + Ord + Send + Sync + 'static,
+    V: Clone + Send + 'static,
+    R: Reclaimer,
+{
+    fn drop(&mut self) {
+        let teardown = || {
+            let rt = ctx::current_runtime();
+            for shard in self.shards.iter() {
+                for &sentinel in shard.iter() {
+                    // SAFETY: quiescent teardown.
+                    unsafe { chain_teardown(&rt, sentinel) };
+                }
+            }
+        };
+        if pgas_sim::try_here().is_some() {
+            teardown();
+        } else {
+            self.em.runtime().run(teardown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas_sim::{Runtime, RuntimeConfig};
+
+    fn zrt(n: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::zero_latency(n))
+    }
+
+    #[test]
+    fn roundtrip_from_every_locale() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let m: ShardedHashMap<u64, u64> = ShardedHashMap::new(16);
+            rt.coforall_locales(|l| {
+                let tok = m.register();
+                for i in 0..100u64 {
+                    let k = (l as u64) * 1000 + i;
+                    assert!(m.insert(&tok, k, k * 2));
+                    assert!(!m.insert(&tok, k, 0), "duplicate");
+                }
+            });
+            assert_eq!(m.len(), 400);
+            let tok = m.register();
+            for l in 0..4u64 {
+                for i in (0..100u64).step_by(7) {
+                    let k = l * 1000 + i;
+                    assert_eq!(m.get(&tok, &k), Some(k * 2));
+                }
+            }
+            assert!(m.remove(&tok, &1001));
+            assert!(!m.remove(&tok, &1001));
+            assert_eq!(m.get(&tok, &1001), None);
+            assert_eq!(m.len(), 399);
+            let snap = m.shard_snapshot();
+            assert!(snap.local_ops > 0, "some keys must be locally owned");
+            assert!(snap.remote_ops > 0, "some keys must route remotely");
+            drop(tok);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn locally_owned_ops_send_no_ams() {
+        // Real cluster latencies, CPU atomics: the pure-local path must
+        // be communication-free.
+        let rt = Runtime::new(RuntimeConfig::cluster(4).without_network_atomics());
+        rt.run(|| {
+            let m: ShardedHashMap<u64, u64> = ShardedHashMap::new(16);
+            // From locale 1, operate only on keys locale 1 owns.
+            rt.on(1, || {
+                let owned: Vec<u64> = (0..4096u64)
+                    .filter(|k| m.router().owner(hash_key(k)) == 1)
+                    .take(64)
+                    .collect();
+                assert!(!owned.is_empty());
+                let tok = m.register();
+                let before = rt.total_comm();
+                for &k in &owned {
+                    assert!(m.insert(&tok, k, k));
+                    assert_eq!(m.get(&tok, &k), Some(k));
+                    assert!(m.remove(&tok, &k));
+                }
+                let d = rt.total_comm() - before;
+                assert_eq!(d.am_sent, 0, "local-shard ops must not send AMs");
+                assert_eq!(d.rdma_atomics, 0, "local-shard ops stay off the NIC");
+                assert!(d.cpu_atomics > 0, "chain CASes run on the CPU");
+            });
+            let snap = m.shard_snapshot();
+            assert_eq!(snap.remote_ops, 0);
+            assert_eq!(snap.local_ops, 64 * 3);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn remote_ops_ship_one_am_each() {
+        let rt = Runtime::new(RuntimeConfig::cluster(4).without_network_atomics());
+        rt.run(|| {
+            let m: ShardedHashMap<u64, u64> = ShardedHashMap::new(16);
+            // From locale 0, operate on keys owned elsewhere.
+            let remote: Vec<u64> = (0..4096u64)
+                .filter(|k| m.router().owner(hash_key(k)) != 0)
+                .take(32)
+                .collect();
+            let tok = m.register();
+            let before = rt.total_comm();
+            for &k in &remote {
+                assert!(m.insert(&tok, k, k));
+            }
+            let d = rt.total_comm() - before;
+            // One shipped closure per op — not one message per chain hop.
+            assert!(d.am_sent >= 32, "every remote op ships a message");
+            assert!(
+                d.am_sent <= 2 * 32,
+                "remote ops must not pay per-hop traffic: {} AMs for 32 ops",
+                d.am_sent
+            );
+            assert_eq!(m.shard_snapshot().remote_ops, 32);
+            drop(tok);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn bulk_scatter_gather_roundtrip() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let m: ShardedHashMap<u64, u64> = ShardedHashMap::new(32);
+            let pairs: Vec<(u64, u64)> = (0..500).map(|k| (k, k * 3)).collect();
+            assert_eq!(m.insert_bulk(pairs), 500);
+            assert_eq!(m.len(), 500);
+            let keys: Vec<u64> = (0..600).rev().collect();
+            let got = m.get_bulk(keys.clone());
+            for (i, k) in keys.iter().enumerate() {
+                let expect = if *k < 500 { Some(*k * 3) } else { None };
+                assert_eq!(got[i], expect, "result {i} aligned with key {k}");
+            }
+            let snap = m.shard_snapshot();
+            assert_eq!(snap.bulk_local_items + snap.bulk_remote_items, 500 + 600);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn bulk_insert_batches_communication() {
+        let rt = Runtime::cluster(4);
+        rt.run(|| {
+            let m: ShardedHashMap<u64, u64> = ShardedHashMap::new(64);
+            rt.reset_metrics();
+            let n = 512u64;
+            let before = rt.total_comm();
+            assert_eq!(m.insert_bulk((0..n).map(|k| (k, k)).collect()), n as usize);
+            let d = rt.total_comm() - before;
+            assert!(d.am_batches >= 1, "remote batches must flow");
+            assert!(
+                d.am_sent <= 2 * rt.num_locales() as u64,
+                "bulk insert must not pay per-key AMs: {} AMs for {n} keys",
+                d.am_sent
+            );
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn rebalance_migrates_and_preserves_entries() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let m: ShardedHashMap<u64, u64> = ShardedHashMap::new(16);
+            let n = 400u64;
+            assert_eq!(
+                m.insert_bulk((0..n).map(|k| (k, k + 1)).collect()),
+                n as usize
+            );
+            // Compact onto 2 shards: keys owned by shards 2/3 must move.
+            let moved_down = m.rebalance(2);
+            assert!(moved_down > 0, "compaction must migrate keys");
+            assert_eq!(m.router().active(), 2);
+            assert_eq!(m.len(), n as usize, "rebalance conserves entries");
+            let tok = m.register();
+            for k in 0..n {
+                assert_eq!(m.get(&tok, &k), Some(k + 1), "key {k} after compaction");
+                // Every key now routes to an active shard.
+                assert!(m.router().owner(hash_key(&k)) < 2);
+            }
+            drop(tok);
+            // Grow back to 4: a different subset moves again.
+            let moved_up = m.rebalance(4);
+            assert!(moved_up > 0);
+            assert_eq!(m.len(), n as usize);
+            let tok = m.register();
+            for k in (0..n).step_by(3) {
+                assert_eq!(m.get(&tok, &k), Some(k + 1), "key {k} after growth");
+            }
+            let snap = m.shard_snapshot();
+            assert_eq!(snap.rebalances, 2);
+            assert_eq!(snap.moved_keys, (moved_down + moved_up) as u64);
+            assert!(snap.generation >= 2);
+            drop(tok);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn no_op_rebalance_moves_nothing() {
+        let rt = zrt(4);
+        rt.run(|| {
+            let m: ShardedHashMap<u64, u64> = ShardedHashMap::new(8);
+            m.insert_bulk((0..50u64).map(|k| (k, k)).collect());
+            assert_eq!(m.rebalance(4), 0, "same active count: no migration");
+            assert_eq!(m.shard_snapshot().rebalances, 0);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn model_check_against_std_hashmap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let rt = zrt(2);
+        rt.run(|| {
+            let m: ShardedHashMap<u8, u64> = ShardedHashMap::new(8);
+            let tok = m.register();
+            let mut model = std::collections::HashMap::new();
+            let mut rng = StdRng::seed_from_u64(41);
+            for step in 0..2000u64 {
+                let k: u8 = rng.gen_range(0..48);
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let expect = !model.contains_key(&k);
+                        assert_eq!(
+                            m.insert(&tok, k, step),
+                            expect,
+                            "insert divergence at step {step}"
+                        );
+                        if expect {
+                            model.insert(k, step);
+                        }
+                    }
+                    1 => assert_eq!(m.remove(&tok, &k), model.remove(&k).is_some()),
+                    _ => assert_eq!(m.get(&tok, &k), model.get(&k).copied()),
+                }
+            }
+            assert_eq!(m.len(), model.len());
+            drop(tok);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+
+    #[test]
+    fn hazard_pointer_backend_roundtrip() {
+        use pgas_epoch::HazardReclaimer;
+        let rt = zrt(2);
+        rt.run(|| {
+            let m: ShardedHashMap<u64, u64, HazardReclaimer> = ShardedHashMap::with_reclaimer(8);
+            let tok = m.register();
+            for k in 0..100u64 {
+                assert!(m.insert(&tok, k, k * 5));
+            }
+            for k in 0..100u64 {
+                assert_eq!(m.get(&tok, &k), Some(k * 5));
+            }
+            for k in (0..100u64).step_by(2) {
+                assert!(m.remove(&tok, &k));
+            }
+            assert_eq!(m.len(), 50);
+            drop(tok);
+            m.clear_reclaim();
+        });
+        assert_eq!(rt.live_objects(), 0);
+    }
+}

@@ -471,6 +471,131 @@ mod simproc {
         drop(runtimes);
     }
 
+    /// The symmetric-heap and handler *facades* are the engine-portable
+    /// API surface (free functions, no `Runtime` in hand) — this is the
+    /// round-trip contract each one must keep on BOTH backends:
+    ///
+    /// * `fetch_add` returns the previous word value (0, d, 2d, …);
+    /// * `dcas` reports `(matched, witnessed)` and only a matching
+    ///   expectation installs; `read_wide` observes exactly the installed
+    ///   128-bit value;
+    /// * `put` then `get` round-trips an arbitrary byte pattern;
+    /// * `handlers::call` round-trips args → reply through a registered
+    ///   handler running on the owner.
+    ///
+    /// The same closure drives a sim runtime and a 2-rank ProcEngine over
+    /// loopback TCP, so a facade that silently short-circuits on one
+    /// backend (e.g. resolving locally instead of at the owner) fails the
+    /// per-op assertions or the cross-backend counter comparison.
+    fn facade_roundtrip(owner: u16, echo_id: HandlerId) {
+        // fetch_add: previous values come back in arithmetic sequence.
+        for i in 0..6u64 {
+            assert_eq!(symheap::fetch_add(owner, OFF_COUNTER, 5), i * 5);
+        }
+
+        // dcas/read_wide: wrong expectation refuses and witnesses, right
+        // one installs, and the read observes exactly what was installed.
+        let wide = (77u128 << 64) | 11;
+        let (ok, seen) = symheap::dcas(owner, OFF_WIDE, 0, wide);
+        assert!(ok && seen == 0, "first CAS from zero installs");
+        let (ok, seen) = symheap::dcas(owner, OFF_WIDE, 0, 99);
+        assert!(!ok, "stale expectation must refuse");
+        assert_eq!(seen, wide, "failed CAS witnesses the current value");
+        assert_eq!(symheap::read_wide(owner, OFF_WIDE), wide);
+        let (ok, _) = symheap::dcas(owner, OFF_WIDE, wide, wide + 1);
+        assert!(ok);
+        assert_eq!(symheap::read_wide(owner, OFF_WIDE), wide + 1);
+
+        // put/get: a recognizable pattern survives the round trip.
+        let pattern: Vec<u8> = (0..BUF_LEN as u8).map(|b| b.wrapping_mul(3)).collect();
+        symheap::put(owner, OFF_BUF, &pattern);
+        let mut back = [0u8; BUF_LEN];
+        symheap::get(owner, OFF_BUF, &mut back);
+        assert_eq!(&back[..], &pattern[..], "put/get round-trip");
+
+        // handlers::call: args → reply through the owner-side handler.
+        let reply = handlers::call(owner, echo_id, &[0xAB, 0xCD]);
+        assert_eq!(reply, vec![0xCD, 0xAB], "handler echoes args reversed");
+    }
+
+    /// `args` reversed — enough to prove the bytes crossed to the owner
+    /// and back rather than being served from a local shortcut.
+    fn parity_echo(_core: &RuntimeCore, args: &[u8]) -> Vec<u8> {
+        let mut r = args.to_vec();
+        r.reverse();
+        r
+    }
+
+    #[test]
+    fn facade_free_functions_roundtrip_on_both_engines() {
+        let echo_id = handlers::register("parity.echo", parity_echo);
+
+        // --- sim leg.
+        let sim_rt = Runtime::new(RuntimeConfig::cluster(2).without_network_atomics());
+        sim_rt.run(|| {
+            sim_rt.reset_metrics();
+            facade_roundtrip(1, echo_id);
+        });
+        let sim = sim_rt.total_comm();
+        assert_eq!(
+            sim_rt
+                .locale(1)
+                .sym
+                .word(OFF_COUNTER)
+                .load(std::sync::atomic::Ordering::SeqCst),
+            30,
+            "sim: six fetch_add(5) land on the owner's heap word"
+        );
+
+        // --- proc leg: same closure, real loopback TCP.
+        let listeners: Vec<TcpListener> = (0..2)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+            .collect();
+        let peers: Vec<std::net::SocketAddr> =
+            listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let runtimes: Vec<Runtime> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(r, listener)| {
+                Runtime::with_engine(
+                    RuntimeConfig::cluster(2).with_engine(EngineKind::Proc),
+                    Box::new(ProcEngine::new(r as u16, listener, peers.clone())),
+                )
+            })
+            .collect();
+        runtimes[0].run(|| facade_roundtrip(1, echo_id));
+        // Owner-side work (CPU atomics, DCAS, handler executions) is
+        // accounted on rank 1's engine; fold both ranks like a real
+        // multi-process aggregation would.
+        let proc = runtimes
+            .iter()
+            .map(|rt| rt.total_comm())
+            .fold(CommSnapshot::default(), |a, b| a + b);
+        assert_eq!(
+            runtimes[1]
+                .locale(1)
+                .sym
+                .word(OFF_COUNTER)
+                .load(std::sync::atomic::Ordering::SeqCst),
+            30,
+            "proc: the adds landed on rank 1's real heap, not a local copy"
+        );
+
+        // Both backends paid the same deterministic communication: the
+        // facades must not short-circuit differently per engine.
+        for (backend, c) in [("sim", &sim), ("proc", &proc)] {
+            assert_eq!(c.cpu_atomics, 6, "{backend}: one owner atomic per add");
+            assert_eq!(c.cpu_dcas, 3 + 2, "{backend}: three CAS + two wide reads");
+            assert_eq!(c.gets, 1, "{backend}: one one-sided GET");
+            assert_eq!(c.puts, 1, "{backend}: one one-sided PUT");
+            assert_eq!(c.bytes_got, BUF_LEN as u64, "{backend}: GET bytes");
+            assert_eq!(c.bytes_put, BUF_LEN as u64, "{backend}: PUT bytes");
+            assert_eq!(c.rdma_atomics, 0, "{backend}: no NIC atomics here");
+        }
+        assert_eq!(sim.am_sent, proc.am_sent, "identical AM traffic per leg");
+        drop(runtimes);
+    }
+
     #[test]
     fn proc_versioned_reads_are_two_real_gets() {
         const READS: u64 = 32;

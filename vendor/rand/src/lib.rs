@@ -64,6 +64,15 @@ macro_rules! int_ranges {
 
 int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits → a unit sample in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
 /// Named generators.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
